@@ -1,0 +1,73 @@
+"""Ablation benches (DESIGN.md §5) — design-choice sweeps beyond the
+paper's own evaluation."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_activation_ablation,
+    run_bottleneck_ablation,
+    run_hard_fraction_sweep,
+    run_threshold_sweep,
+)
+
+from conftest import emit
+
+
+def test_bottleneck_width_ablation(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_bottleneck_ablation,
+        kwargs={"dataset": "mnist", "widths": (8, 32, 128), "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "ablation_bottleneck", result.render())
+    accs = {r.setting: r.metrics["cbnet acc (%)"] for r in result.rows}
+    # Table I's choice (32) should not be dominated by the tiny bottleneck.
+    assert accs["bottleneck=32"] >= accs["bottleneck=8"] - 1.0
+    # Latency grows with bottleneck width.
+    lats = [r.metrics["ae latency (ms)"] for r in result.rows]
+    assert lats[0] <= lats[-1]
+
+
+def test_activation_head_ablation(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_activation_ablation,
+        kwargs={"dataset": "mnist", "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "ablation_activation", result.render())
+    accs = {r.setting: r.metrics["cbnet acc (%)"] for r in result.rows}
+    # Both reconstruction heads must be functional (no collapse to chance).
+    assert accs["head=softmax"] > 80.0
+    assert accs["head=sigmoid"] > 80.0
+
+
+def test_threshold_sweep(benchmark, results_dir, fmnist_artifacts):
+    result = benchmark.pedantic(
+        run_threshold_sweep,
+        kwargs={"dataset": "fmnist", "fast": True, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "ablation_threshold", result.render())
+    rates = [r.metrics["exit rate (%)"] for r in result.rows]
+    assert rates == sorted(rates)  # exit rate monotone in threshold
+    speedups = [r.metrics["branchy speedup"] for r in result.rows]
+    assert speedups == sorted(speedups)
+
+
+def test_hard_fraction_sweep(benchmark, results_dir):
+    """Generalized Fig. 3: BranchyNet degrades with hardness, CBNet flat."""
+    result = benchmark.pedantic(
+        run_hard_fraction_sweep,
+        kwargs={"dataset": "mnist", "fractions": (0.05, 0.4), "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "ablation_hard_fraction", result.render())
+    rows = {r.setting: r.metrics for r in result.rows}
+    assert rows["hard=40%"]["branchy lat (ms)"] > rows["hard=5%"]["branchy lat (ms)"]
+    assert rows["hard=40%"]["cbnet lat (ms)"] == pytest.approx(
+        rows["hard=5%"]["cbnet lat (ms)"], rel=0.05
+    )

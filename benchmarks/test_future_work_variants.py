@@ -1,0 +1,88 @@
+"""Bench for the paper's §V future-work variants, implemented in
+:mod:`repro.core.generalized`:
+
+* generalized CBNet (no BranchyNet dependency — labels from the truncated
+  classifier's own entropy);
+* encoder-only CBNet (decoder block removed).
+
+The bench compares all three CBNet variants on accuracy and simulated
+Pi-4 latency and asserts the expected ordering: the encoder-only variant
+is the cheapest; both variants stay accuracy-competitive.
+"""
+
+import pytest
+
+from repro.core import TrainConfig
+from repro.core.generalized import build_encoder_only_cbnet, build_generalized_cbnet
+from repro.eval.tables import Table
+from repro.hw.devices import raspberry_pi4
+from repro.hw.latency import cbnet_latency, model_latency
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def variants(mnist_artifacts, mnist_lenet):
+    train = mnist_artifacts.datasets["train"]
+    generalized = build_generalized_cbnet(
+        mnist_lenet,
+        train,
+        "mnist",
+        keep_layers=3,
+        seed=0,
+        head_train=TrainConfig(epochs=4, batch_size=128),
+        ae_train=TrainConfig(epochs=8, batch_size=128),
+    )
+    encoder_only = build_encoder_only_cbnet(
+        mnist_artifacts.cbnet.autoencoder,
+        train,
+        seed=0,
+        train=TrainConfig(epochs=6, batch_size=128),
+    )
+    return generalized, encoder_only
+
+
+def test_future_work_variants(benchmark, results_dir, variants, mnist_artifacts):
+    generalized, encoder_only = variants
+    test = mnist_artifacts.datasets["test"]
+    device = raspberry_pi4()
+
+    def evaluate():
+        return {
+            "CBNet (paper)": (
+                mnist_artifacts.cbnet.accuracy(test.images, test.labels),
+                cbnet_latency(mnist_artifacts.cbnet, device).total,
+            ),
+            "Generalized (no BranchyNet)": (
+                generalized.cbnet.accuracy(test.images, test.labels),
+                cbnet_latency(generalized.cbnet, device).total,
+            ),
+            "Encoder-only (no decoder)": (
+                encoder_only.accuracy(test.images, test.labels),
+                model_latency(encoder_only, device, in_shape=(784,)),
+            ),
+        }
+
+    results = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+
+    table = Table(
+        headers=["variant", "accuracy (%)", "latency Pi4 (ms)"],
+        title="Future-work variants (paper SV), MNIST",
+    )
+    for name, (acc, lat) in results.items():
+        table.add_row(name, f"{100 * acc:.2f}", f"{lat * 1e3:.3f}")
+    emit(results_dir, "future_work_variants", table.render())
+
+    # Encoder-only removes the decoder: strictly cheaper than full CBNet.
+    assert results["Encoder-only (no decoder)"][1] < results["CBNet (paper)"][1]
+    # All variants stay within a few points of the paper pipeline.
+    base_acc = results["CBNet (paper)"][0]
+    assert results["Generalized (no BranchyNet)"][0] > base_acc - 0.05
+    assert results["Encoder-only (no decoder)"][0] > base_acc - 0.05
+
+
+def test_encoder_only_inference_wallclock(benchmark, variants, mnist_artifacts):
+    _, encoder_only = variants
+    test = mnist_artifacts.datasets["test"]
+    preds = benchmark(encoder_only.predict, test.images[:500])
+    assert preds.shape == (500,)

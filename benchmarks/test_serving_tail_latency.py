@@ -1,0 +1,57 @@
+"""Extension bench — tail latency under load (not a paper figure).
+
+The paper compares mean per-image latency; this bench quantifies what
+the static pipeline buys at the *tail*: CBNet's constant service time vs
+BranchyNet's bimodal one under Poisson arrivals on the Pi-4 profile.
+"""
+
+import pytest
+
+from repro.eval.tables import Table
+from repro.hw.devices import raspberry_pi4
+from repro.hw.latency import branchynet_expected_latency, cbnet_latency
+from repro.hw.serving import bimodal_service_sampler, simulate_serving
+
+from conftest import emit
+
+
+def test_tail_latency_under_load(benchmark, results_dir, mnist_artifacts):
+    device = raspberry_pi4()
+    test = mnist_artifacts.datasets["test"]
+    exit_rate = mnist_artifacts.branchynet.infer(test.images).early_exit_rate
+    branchy = branchynet_expected_latency(mnist_artifacts.branchynet, device, exit_rate)
+    t_cbnet = cbnet_latency(mnist_artifacts.cbnet, device).total
+
+    # Arrival rate at ~70% utilization of the *slower* system.
+    rate = 0.7 / branchy.expected
+
+    def run():
+        cb = simulate_serving(t_cbnet, rate, n_requests=30_000, rng=0)
+        br = simulate_serving(
+            bimodal_service_sampler(branchy.early_path, branchy.full_path, exit_rate),
+            rate,
+            n_requests=30_000,
+            rng=0,
+        )
+        return cb, br
+
+    cb, br = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table(
+        headers=["system", "mean (ms)", "p95 (ms)", "p99 (ms)", "server util"],
+        title=f"Serving tails on Pi 4 @ {rate:.0f} req/s (exit rate {exit_rate:.0%})",
+    )
+    for name, stats in (("CBNet", cb), ("BranchyNet", br)):
+        table.add_row(
+            name,
+            f"{stats.mean_s * 1e3:.2f}",
+            f"{stats.p95_s * 1e3:.2f}",
+            f"{stats.p99_s * 1e3:.2f}",
+            f"{stats.utilization:.0%}",
+        )
+    emit(results_dir, "serving_tails", table.render())
+
+    # CBNet wins the mean and wins the tail by at least as much.
+    assert cb.mean_s < br.mean_s
+    assert cb.p99_s < br.p99_s
+    assert br.p99_s / cb.p99_s >= br.mean_s / cb.mean_s * 0.95

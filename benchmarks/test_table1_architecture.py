@@ -1,0 +1,36 @@
+"""Table I bench — regenerates the converting-AE architecture table and
+times one AE conversion pass per dataset architecture."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.table1 import run_table1
+from repro.models.autoencoder import TABLE1_SPECS, ConvertingAutoencoder
+
+from conftest import emit
+
+
+def test_regenerate_table1(benchmark, results_dir):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    emit(results_dir, "table1", result.rendered)
+    # Every Table-I row must be present with the paper's exact sizes.
+    for name, spec in TABLE1_SPECS.items():
+        assert name in result.rendered
+        rows = [
+            r for r in result.rows
+            if r["dataset"] == name and r["layer"].startswith("Fully")
+        ]
+        assert [r["size"] for r in rows] == [*spec.layer_sizes, spec.input_dim]
+        assert [r["activation"] for r in rows] == [
+            *spec.activations,
+            spec.output_activation,
+        ]
+
+
+@pytest.mark.parametrize("dataset", list(TABLE1_SPECS))
+def test_autoencoder_forward_throughput(benchmark, dataset):
+    """Wall-clock cost of the AE conversion stage (batch of 256)."""
+    model = ConvertingAutoencoder.for_dataset(dataset, rng=0)
+    batch = np.random.default_rng(0).random((256, 784), dtype=np.float32)
+    out = benchmark(model.convert, batch)
+    assert out.shape == (256, 784)

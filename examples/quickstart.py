@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: build and use a CBNet pipeline in ~40 lines.
+
+Trains the full stack on a small synthetic MNIST-like dataset — BranchyNet,
+easy/hard labeling, the converting autoencoder, the truncated lightweight
+classifier — then runs CBNet inference and reports accuracy, simulated
+edge latency, and energy savings.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PipelineConfig, TrainConfig, build_cbnet_pipeline, train_baseline_lenet
+from repro.hw import raspberry_pi4, lenet_latency, cbnet_latency, branchynet_expected_latency
+from repro.hw import energy_joules, energy_savings_percent
+
+
+def main() -> None:
+    # 1. Train the pipeline (disk-cached: rerunning this script is instant).
+    config = PipelineConfig(
+        dataset="mnist",
+        seed=0,
+        n_train=2500,
+        n_test=600,
+        classifier_train=TrainConfig(epochs=10),
+        autoencoder_train=TrainConfig(epochs=8, batch_size=128),
+    )
+    artifacts = build_cbnet_pipeline(config)
+    lenet, _ = train_baseline_lenet(
+        "mnist", config=TrainConfig(epochs=10), seed=0,
+        n_train=config.n_train, n_test=config.n_test,
+    )
+
+    # 2. Behavioural results on the test set.
+    test = artifacts.datasets["test"]
+    branchy = artifacts.branchynet.infer(test.images)
+    print(f"early-exit rate:      {branchy.early_exit_rate:6.1%}")
+    print(f"BranchyNet accuracy:  {(branchy.predictions == test.labels).mean():6.1%}")
+    print(f"CBNet accuracy:       {artifacts.cbnet.accuracy(test.images, test.labels):6.1%}")
+    print(f"LeNet accuracy:       {(lenet.predict(test.images) == test.labels).mean():6.1%}")
+
+    # 3. Simulated Raspberry Pi 4 latency and energy.
+    device = raspberry_pi4()
+    t_lenet = lenet_latency(lenet, device)
+    t_branchy = branchynet_expected_latency(
+        artifacts.branchynet, device, branchy.early_exit_rate
+    ).expected
+    t_cbnet = cbnet_latency(artifacts.cbnet, device).total
+    print(f"\nRaspberry Pi 4 latency per image:")
+    print(f"  LeNet      {t_lenet * 1e3:7.3f} ms")
+    print(f"  BranchyNet {t_branchy * 1e3:7.3f} ms")
+    print(f"  CBNet      {t_cbnet * 1e3:7.3f} ms   ({t_lenet / t_cbnet:.1f}x faster than LeNet)")
+    savings = energy_savings_percent(
+        energy_joules(device, t_lenet), energy_joules(device, t_cbnet)
+    )
+    print(f"  CBNet energy savings vs LeNet: {savings:.0f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Shim for offline environments lacking the `wheel` package.
+
+`pip install -e .` (PEP 660) needs wheel; `python setup.py develop` does
+not. All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

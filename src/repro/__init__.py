@@ -1,0 +1,40 @@
+"""CBNet reproduction: converting autoencoder for low-latency,
+energy-efficient DNN inference at the edge (Mahmud et al., IPDPS 2024).
+
+Public API tour
+---------------
+>>> from repro import load_dataset, PipelineConfig, build_cbnet_pipeline
+>>> data = load_dataset("fmnist", n_train=2000, n_test=500, seed=0)
+>>> artifacts = build_cbnet_pipeline(PipelineConfig(dataset="fmnist", seed=0,
+...                                                 n_train=2000, n_test=500))
+>>> preds = artifacts.cbnet.predict(data["test"].images)
+
+Sub-packages: :mod:`repro.nn` (NumPy DL framework), :mod:`repro.data`
+(synthetic MNIST-family datasets), :mod:`repro.models` (LeNet /
+BranchyNet / converting AE), :mod:`repro.core` (the CBNet pipeline),
+:mod:`repro.baselines` (AdaDeep, SubFlow), :mod:`repro.hw` (device
+latency/power simulation), :mod:`repro.eval` + :mod:`repro.experiments`
+(every table and figure of the paper).
+"""
+
+from repro.core.cbnet import CBNet
+from repro.core.config import PipelineConfig, TrainConfig
+from repro.core.pipeline import build_cbnet_pipeline, train_baseline_lenet
+from repro.data import load_dataset
+from repro.models import BranchyLeNet, ConvertingAutoencoder, LeNet, LightweightClassifier
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CBNet",
+    "PipelineConfig",
+    "TrainConfig",
+    "build_cbnet_pipeline",
+    "train_baseline_lenet",
+    "load_dataset",
+    "LeNet",
+    "BranchyLeNet",
+    "ConvertingAutoencoder",
+    "LightweightClassifier",
+    "__version__",
+]

@@ -1,0 +1,133 @@
+"""AdaDeep-style usage-driven DNN compression (Liu et al., 2020).
+
+AdaDeep "automatically selects the most suitable combination of
+compression techniques and the corresponding compression hyperparameters
+for a given DNN" under performance/resource constraints.  This module
+reproduces that behaviour at the scale of the paper's evaluation:
+
+* search space: structured channel pruning (keep fraction) x k-means
+  weight quantization (bit width), the two classic Deep-Compression axes;
+* each candidate is compressed from the trained baseline, briefly
+  fine-tuned, and scored;
+* the controller picks the *fastest* candidate (simulated latency on the
+  target device) whose accuracy loss stays within the budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from repro.baselines.pruning import channel_pruned_lenet
+from repro.baselines.quantization import quantize_model
+from repro.core.config import TrainConfig
+from repro.core.trainer import evaluate_accuracy, fit_classifier
+from repro.data.dataset import ArrayDataset
+from repro.hw.device import DeviceProfile
+from repro.hw.latency import model_latency
+from repro.models.lenet import LeNet
+from repro.utils.logging import get_logger
+from repro.utils.rng import as_generator
+
+__all__ = ["AdaDeepCompressor", "AdaDeepResult"]
+
+logger = get_logger("baselines.adadeep")
+
+
+@dataclass
+class AdaDeepResult:
+    """Chosen operating point of the AdaDeep controller."""
+
+    model: LeNet
+    keep_fraction: float
+    quant_bits: int
+    accuracy: float
+    latency_s: float
+    candidates_evaluated: int
+
+
+class AdaDeepCompressor:
+    """Controller searching the compression space under an accuracy budget.
+
+    Parameters
+    ----------
+    keep_fractions, bit_widths:
+        The candidate grid (paper-scale defaults).
+    accuracy_budget:
+        Maximum tolerated accuracy drop versus the uncompressed baseline.
+    finetune:
+        Short recovery training applied to each pruned candidate before
+        scoring (AdaDeep fine-tunes inside its optimization loop).
+    """
+
+    def __init__(
+        self,
+        keep_fractions: tuple[float, ...] = (0.65, 0.8, 0.9),
+        bit_widths: tuple[int, ...] = (8, 5),
+        accuracy_budget: float = 0.01,
+        finetune: TrainConfig | None = None,
+    ) -> None:
+        self.keep_fractions = keep_fractions
+        self.bit_widths = bit_widths
+        self.accuracy_budget = accuracy_budget
+        self.finetune = finetune or TrainConfig(epochs=1, batch_size=128, lr=5e-4)
+
+    def compress(
+        self,
+        baseline: LeNet,
+        train_ds: ArrayDataset,
+        test_ds: ArrayDataset,
+        device: DeviceProfile,
+        rng: np.random.Generator | int | None = None,
+    ) -> AdaDeepResult:
+        """Search the grid; return the fastest candidate within budget.
+
+        Falls back to the most accurate candidate if none meets the
+        budget (AdaDeep always returns *a* compressed network).
+        """
+        rng = as_generator(rng)
+        base_acc = evaluate_accuracy(baseline, test_ds)
+        floor = base_acc - self.accuracy_budget
+
+        best: AdaDeepResult | None = None
+        fallback: AdaDeepResult | None = None
+        n_evaluated = 0
+        for keep, bits in product(self.keep_fractions, self.bit_widths):
+            candidate = channel_pruned_lenet(baseline, keep, rng=rng)
+            fit_classifier(candidate, train_ds, self.finetune, rng=rng)
+            quantize_model(candidate, bits, rng=rng)
+            acc = evaluate_accuracy(candidate, test_ds)
+            latency = model_latency(candidate, device)
+            n_evaluated += 1
+            logger.info(
+                "candidate keep=%.2f bits=%d: acc=%.4f latency=%.3fms",
+                keep,
+                bits,
+                acc,
+                latency * 1e3,
+            )
+            result = AdaDeepResult(
+                model=candidate,
+                keep_fraction=keep,
+                quant_bits=bits,
+                accuracy=acc,
+                latency_s=latency,
+                candidates_evaluated=n_evaluated,
+            )
+            if acc >= floor and (best is None or latency < best.latency_s):
+                best = result
+            if fallback is None or acc > fallback.accuracy:
+                fallback = result
+
+        chosen = best if best is not None else fallback
+        assert chosen is not None, "grid search evaluated no candidates"
+        return AdaDeepResult(
+            model=chosen.model,
+            keep_fraction=chosen.keep_fraction,
+            quant_bits=chosen.quant_bits,
+            accuracy=chosen.accuracy,
+            latency_s=chosen.latency_s,
+            candidates_evaluated=n_evaluated,
+        )

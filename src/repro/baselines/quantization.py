@@ -1,0 +1,66 @@
+"""Weight quantization via k-means weight sharing (Deep Compression,
+Han et al., 2016) — one of the techniques in AdaDeep's search space."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.utils.rng import as_generator
+
+__all__ = ["kmeans_quantize", "quantize_model"]
+
+
+def kmeans_quantize(
+    weights: np.ndarray,
+    bits: int,
+    rng: np.random.Generator | int | None = None,
+    iterations: int = 12,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cluster weights into 2^bits shared values (1-D Lloyd's algorithm).
+
+    Returns (quantized weights, codebook).  Centroids initialize linearly
+    over the weight range — the scheme Deep Compression found most robust.
+    """
+    if not 1 <= bits <= 16:
+        raise ValueError(f"bits must be in [1, 16], got {bits}")
+    rng = as_generator(rng)
+    flat = weights.astype(np.float64).ravel()
+    k = min(2**bits, flat.size)
+    lo, hi = float(flat.min()), float(flat.max())
+    if lo == hi:
+        return weights.copy(), np.asarray([lo], dtype=np.float32)
+    codebook = np.linspace(lo, hi, k)
+    for _ in range(iterations):
+        # Assign: nearest centroid via searchsorted on midpoints (O(n log k)).
+        mids = (codebook[1:] + codebook[:-1]) / 2.0
+        assign = np.searchsorted(mids, flat)
+        # Update: mean of assigned weights; empty clusters keep their value.
+        sums = np.bincount(assign, weights=flat, minlength=k)
+        counts = np.bincount(assign, minlength=k)
+        nonempty = counts > 0
+        new_codebook = codebook.copy()
+        new_codebook[nonempty] = sums[nonempty] / counts[nonempty]
+        if np.allclose(new_codebook, codebook):
+            codebook = new_codebook
+            break
+        codebook = new_codebook
+    mids = (codebook[1:] + codebook[:-1]) / 2.0
+    assign = np.searchsorted(mids, flat)
+    quantized = codebook[assign].reshape(weights.shape).astype(np.float32)
+    return quantized, codebook.astype(np.float32)
+
+
+def quantize_model(
+    model: Module, bits: int, rng: np.random.Generator | int | None = None
+) -> dict[str, int]:
+    """Quantize every weight matrix in place; returns per-layer codebook sizes."""
+    rng = as_generator(rng)
+    sizes: dict[str, int] = {}
+    for name, param in model.named_parameters():
+        if name.endswith("bias"):
+            continue
+        quantized, codebook = kmeans_quantize(param.data, bits, rng)
+        param.data = quantized
+        sizes[name] = int(codebook.size)
+    return sizes

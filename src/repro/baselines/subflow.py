@@ -1,0 +1,121 @@
+"""SubFlow-style induced-subgraph execution (Lee & Nirjon, RTAS 2020).
+
+SubFlow executes "a subset of the DNN during runtime" to meet a time
+constraint: at a utilization level u, only the most important neurons /
+channels of each layer run.  This module reproduces both halves:
+
+* **accuracy** — real masked execution of the trained LeNet (top-u
+  channels by L1 importance; non-selected activations are zeroed), and
+* **latency** — the simulated cost of the *induced sub-network*, whose
+  conv MACs shrink by u on both the producer and consumer side.
+
+No retraining is performed: SubFlow's selling point is switching the
+utilization level dynamically at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.device import DeviceProfile
+from repro.hw.flops import model_cost
+from repro.models.lenet import LeNet
+from repro.nn import no_grad
+from repro.nn.layers import Conv2d
+from repro.nn.tensor import Tensor
+
+__all__ = ["SubFlowExecutor"]
+
+
+@dataclass(frozen=True)
+class _LayerMask:
+    """Active-channel mask for one conv layer."""
+
+    active: np.ndarray  # bool (C_out,)
+
+    @property
+    def fraction(self) -> float:
+        return float(self.active.mean())
+
+
+class SubFlowExecutor:
+    """Utilization-gated execution of a trained LeNet."""
+
+    def __init__(self, model: LeNet, utilization: float) -> None:
+        if not 0.0 < utilization <= 1.0:
+            raise ValueError(f"utilization must be in (0, 1], got {utilization}")
+        self.model = model
+        self.utilization = utilization
+        self.masks = self._build_masks()
+
+    def _build_masks(self) -> dict[int, _LayerMask]:
+        """Keep the ceil(u*C) most important channels of each conv layer.
+
+        The last conv layer stays complete: its outputs feed the
+        classifier head directly and SubFlow never drops the output
+        interface of the network.
+        """
+        masks: dict[int, _LayerMask] = {}
+        convs = [
+            (i, layer)
+            for i, layer in enumerate(self.model.features)
+            if isinstance(layer, Conv2d)
+        ]
+        for rank, (i, conv) in enumerate(convs):
+            c = conv.out_channels
+            if rank == len(convs) - 1:
+                active = np.ones(c, dtype=bool)
+            else:
+                keep = max(1, int(np.ceil(self.utilization * c)))
+                importance = np.abs(conv.weight.data.reshape(c, -1)).sum(axis=1)
+                active = np.zeros(c, dtype=bool)
+                active[np.argsort(importance)[::-1][:keep]] = True
+            masks[i] = _LayerMask(active=active)
+        return masks
+
+    def predict(self, images: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Masked inference: suppressed channels output zero."""
+        self.model.eval()
+        out = np.empty(images.shape[0], dtype=np.int64)
+        with no_grad():
+            for start in range(0, images.shape[0], batch_size):
+                sl = slice(start, start + batch_size)
+                x = Tensor(images[sl])
+                for i, layer in enumerate(self.model.features):
+                    x = layer(x)
+                    if i in self.masks:
+                        mask = self.masks[i].active.astype(np.float32)
+                        x = x * Tensor(mask[None, :, None, None])
+                logits = self.model.classifier(x)
+                out[sl] = logits.data.argmax(axis=1)
+        return out
+
+    def accuracy(self, images: np.ndarray, labels: np.ndarray) -> float:
+        return float((self.predict(images) == np.asarray(labels)).mean())
+
+    def latency(self, device: DeviceProfile) -> float:
+        """Simulated latency of the induced sub-network.
+
+        Each conv layer's MACs scale by (active-out fraction) x
+        (active-in fraction of the previous conv); pooling/dense costs
+        are unchanged (SubFlow keeps the head intact).
+        """
+        stages = model_cost(self.model)
+        total = device.inference_overhead_s
+        conv_positions = sorted(self.masks)
+        in_frac = 1.0  # first conv consumes the full input image
+        conv_seen = 0
+        for stage in stages:
+            for layer in stage.layers:
+                t = device.layer_latency(layer)
+                if layer.kind == "conv":
+                    pos = conv_positions[conv_seen]
+                    out_frac = self.masks[pos].fraction
+                    compute = t - device.layer_overhead_s
+                    t = compute * out_frac * in_frac + device.layer_overhead_s
+                    in_frac = out_frac
+                    conv_seen += 1
+                total += t
+        return total

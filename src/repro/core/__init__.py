@@ -1,0 +1,49 @@
+"""`repro.core` — CBNet, the paper's primary contribution.
+
+The end-to-end recipe (paper §III, Fig. 2/4):
+
+1. Train BranchyNet-LeNet with the joint multi-exit loss.
+2. Tune/set the entropy threshold; label training images *easy* (exited
+   early) or *hard* (reached the final exit).
+3. Train the converting autoencoder: every image (easy and hard) maps to
+   a randomly chosen easy image of the same class (MSE + L1 activity).
+4. Truncate the early-exit branch → lightweight classifier.
+5. CBNet inference = autoencoder → lightweight classifier.
+"""
+
+from repro.core.config import TrainConfig, PipelineConfig
+from repro.core.trainer import fit_classifier, fit_autoencoder, TrainHistory
+from repro.core.labeling import label_easy_hard, LabelingResult
+from repro.core.pairing import build_conversion_targets
+from repro.core.thresholds import PAPER_THRESHOLDS, tune_threshold
+from repro.core.cbnet import CBNet
+from repro.core.pipeline import build_cbnet_pipeline, PipelineArtifacts, train_baseline_lenet
+from repro.core.generalized import (
+    build_generalized_cbnet,
+    build_encoder_only_cbnet,
+    label_by_classifier_entropy,
+    GeneralizedArtifacts,
+    EncoderOnlyCBNet,
+)
+
+__all__ = [
+    "TrainConfig",
+    "PipelineConfig",
+    "fit_classifier",
+    "fit_autoencoder",
+    "TrainHistory",
+    "label_easy_hard",
+    "LabelingResult",
+    "build_conversion_targets",
+    "PAPER_THRESHOLDS",
+    "tune_threshold",
+    "CBNet",
+    "build_cbnet_pipeline",
+    "PipelineArtifacts",
+    "train_baseline_lenet",
+    "build_generalized_cbnet",
+    "build_encoder_only_cbnet",
+    "label_by_classifier_entropy",
+    "GeneralizedArtifacts",
+    "EncoderOnlyCBNet",
+]

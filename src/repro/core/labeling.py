@@ -1,0 +1,51 @@
+"""Easy/hard labeling via a trained BranchyNet (paper Fig. 4, §III-A2).
+
+"We passed images from the training dataset through a pre-trained
+BranchyNet model for inference.  We labeled the images that exited the
+network early as easy images and labeled the rest as hard images."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.branchynet import BranchyLeNet
+
+__all__ = ["LabelingResult", "label_easy_hard"]
+
+
+@dataclass
+class LabelingResult:
+    """Per-sample easy/hard labels derived from BranchyNet's exit gate."""
+
+    easy: np.ndarray  # (N,) bool — exited at the branch
+    entropy: np.ndarray  # (N,) branch-softmax entropy
+    threshold: float
+
+    @property
+    def easy_fraction(self) -> float:
+        return float(self.easy.mean()) if self.easy.size else 0.0
+
+    @property
+    def hard_fraction(self) -> float:
+        return 1.0 - self.easy_fraction
+
+    def easy_indices(self) -> np.ndarray:
+        return np.flatnonzero(self.easy)
+
+    def hard_indices(self) -> np.ndarray:
+        return np.flatnonzero(~self.easy)
+
+
+def label_easy_hard(
+    branchy: BranchyLeNet,
+    images: np.ndarray,
+    threshold: float | None = None,
+    batch_size: int = 256,
+) -> LabelingResult:
+    """Label each image easy (early exit) or hard via branch entropy."""
+    threshold = branchy.entropy_threshold if threshold is None else float(threshold)
+    entropy = branchy.branch_entropies(images, batch_size=batch_size)
+    return LabelingResult(easy=entropy < threshold, entropy=entropy, threshold=threshold)

@@ -1,0 +1,58 @@
+"""Hard→easy target pairing for autoencoder training (paper Fig. 4).
+
+"All images (both hard and easy) were then passed through the converting
+autoencoder as training input.  For each image as input, an easy image
+that belongs to the same class was randomly chosen as the target output."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = ["build_conversion_targets"]
+
+
+def build_conversion_targets(
+    images: np.ndarray,
+    labels: np.ndarray,
+    easy_mask: np.ndarray,
+    rng: np.random.Generator | int | None = None,
+    entropy: np.ndarray | None = None,
+) -> np.ndarray:
+    """Return a target image (same shape as ``images``) for every sample.
+
+    For each input, a uniformly random *easy* image of the same class.
+    If a class has no easy images at all (possible for tiny datasets or a
+    very tight threshold), the fallback target is the lowest-entropy image
+    of that class when ``entropy`` is given, else the first image of the
+    class — with a warning either way, since it deviates from the paper's
+    assumption that each class has easy representatives.
+    """
+    rng = as_generator(rng)
+    labels = np.asarray(labels)
+    easy_mask = np.asarray(easy_mask, dtype=bool)
+    if images.shape[0] != labels.shape[0] or labels.shape[0] != easy_mask.shape[0]:
+        raise ValueError(
+            f"length mismatch: images={images.shape[0]}, labels={labels.shape[0]}, "
+            f"easy_mask={easy_mask.shape[0]}"
+        )
+
+    target_idx = np.empty(labels.shape[0], dtype=np.int64)
+    for cls in np.unique(labels):
+        cls_rows = np.flatnonzero(labels == cls)
+        easy_rows = cls_rows[easy_mask[cls_rows]]
+        if easy_rows.size == 0:
+            from repro.utils.logging import get_logger
+
+            get_logger("core.pairing").warning(
+                "class %d has no easy images; falling back to its most confident image",
+                int(cls),
+            )
+            if entropy is not None:
+                easy_rows = cls_rows[[int(np.argmin(entropy[cls_rows]))]]
+            else:
+                easy_rows = cls_rows[:1]
+        target_idx[cls_rows] = easy_rows[rng.integers(0, easy_rows.size, cls_rows.size)]
+    return images[target_idx]

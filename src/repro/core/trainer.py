@@ -1,0 +1,166 @@
+"""Training loops for classifiers and the converting autoencoder.
+
+One generic classifier loop covers LeNet, BranchyNet (multi-exit joint
+loss), and lightweight-classifier fine-tuning; a dedicated loop handles
+the autoencoder's regression objective with the encoder activity penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import TrainConfig
+from repro.data.dataloader import DataLoader
+from repro.data.dataset import Dataset
+from repro.nn import functional as F
+from repro.nn import no_grad
+from repro.nn.losses import JointExitLoss
+from repro.nn.module import Module
+from repro.nn.optim import Adam, SGD, clip_grad_norm
+from repro.nn.tensor import Tensor
+from repro.utils.logging import get_logger
+from repro.utils.rng import as_generator
+
+__all__ = ["TrainHistory", "fit_classifier", "fit_autoencoder", "evaluate_accuracy"]
+
+logger = get_logger("core.trainer")
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch training curve."""
+
+    loss: list[float] = field(default_factory=list)
+    accuracy: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.loss[-1] if self.loss else float("nan")
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.accuracy[-1] if self.accuracy else float("nan")
+
+
+def _make_optimizer(model: Module, config: TrainConfig):
+    if config.optimizer == "adam":
+        return Adam(model.parameters(), lr=config.lr, weight_decay=config.weight_decay)
+    return SGD(
+        model.parameters(),
+        lr=config.lr,
+        momentum=config.momentum,
+        weight_decay=config.weight_decay,
+    )
+
+
+def fit_classifier(
+    model: Module,
+    dataset: Dataset,
+    config: TrainConfig | None = None,
+    rng: np.random.Generator | int | None = None,
+    eval_dataset: Dataset | None = None,
+) -> TrainHistory:
+    """Train a classifier with cross-entropy (joint CE for multi-exit).
+
+    Any model whose ``forward`` returns logits — or a *list* of logits for
+    multi-exit models like BranchyNet — is supported.
+    """
+    config = config or TrainConfig()
+    rng = as_generator(rng)
+    optimizer = _make_optimizer(model, config)
+    joint_loss = JointExitLoss()
+    loader = DataLoader(
+        dataset, batch_size=config.batch_size, shuffle=True, rng=rng
+    )
+    history = TrainHistory()
+    model.train()
+    for epoch in range(config.epochs):
+        epoch_loss = 0.0
+        n_batches = 0
+        for images, labels in loader:
+            optimizer.zero_grad()
+            outputs = model(Tensor(images))
+            if isinstance(outputs, (list, tuple)):
+                loss = joint_loss(outputs, labels)
+            else:
+                loss = F.cross_entropy(outputs, labels)
+            loss.backward()
+            if config.grad_clip is not None:
+                clip_grad_norm(model.parameters(), config.grad_clip)
+            optimizer.step()
+            epoch_loss += float(loss.data)
+            n_batches += 1
+        mean_loss = epoch_loss / max(n_batches, 1)
+        history.loss.append(mean_loss)
+        if eval_dataset is not None:
+            acc = evaluate_accuracy(model, eval_dataset)
+            history.accuracy.append(acc)
+            logger.info("epoch %d: loss=%.4f acc=%.4f", epoch, mean_loss, acc)
+        else:
+            logger.info("epoch %d: loss=%.4f", epoch, mean_loss)
+    model.eval()
+    return history
+
+
+def evaluate_accuracy(model: Module, dataset: Dataset, batch_size: int = 512) -> float:
+    """Top-1 accuracy; multi-exit models are scored on their *final* exit."""
+    model.eval()
+    images, labels = dataset.images, dataset.labels
+    correct = 0
+    with no_grad():
+        for start in range(0, images.shape[0], batch_size):
+            sl = slice(start, start + batch_size)
+            outputs = model(Tensor(images[sl]))
+            logits = outputs[-1] if isinstance(outputs, (list, tuple)) else outputs
+            correct += int((logits.data.argmax(axis=1) == labels[sl]).sum())
+    return correct / max(images.shape[0], 1)
+
+
+def fit_autoencoder(
+    autoencoder: Module,
+    inputs: np.ndarray,
+    targets: np.ndarray,
+    config: TrainConfig | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> TrainHistory:
+    """Train the converting autoencoder.
+
+    ``inputs``/``targets`` are flat (N, 784) float32 arrays: every image
+    (easy *and* hard) as input, a same-class easy image as target (paper
+    Fig. 4).  Loss = MSE + the encoder's L1 activity penalty.
+    """
+    config = config or TrainConfig(epochs=12, batch_size=128)
+    rng = as_generator(rng)
+    if inputs.shape != targets.shape:
+        raise ValueError(f"inputs {inputs.shape} and targets {targets.shape} must match")
+    if inputs.ndim != 2:
+        raise ValueError(f"expected flat (N, D) arrays, got {inputs.shape}")
+    optimizer = _make_optimizer(autoencoder, config)
+    n = inputs.shape[0]
+    history = TrainHistory()
+    autoencoder.train()
+    for epoch in range(config.epochs):
+        order = rng.permutation(n)
+        epoch_loss = 0.0
+        n_batches = 0
+        for start in range(0, n, config.batch_size):
+            idx = order[start : start + config.batch_size]
+            optimizer.zero_grad()
+            recon = autoencoder(Tensor(inputs[idx]))
+            loss = F.mse_loss(recon, Tensor(targets[idx]))
+            penalty = getattr(autoencoder, "activity_penalty", lambda: None)()
+            if penalty is not None:
+                loss = loss + penalty
+            loss.backward()
+            if config.grad_clip is not None:
+                clip_grad_norm(autoencoder.parameters(), config.grad_clip)
+            optimizer.step()
+            epoch_loss += float(loss.data)
+            n_batches += 1
+        mean_loss = epoch_loss / max(n_batches, 1)
+        history.loss.append(mean_loss)
+        logger.info("AE epoch %d: loss=%.6f", epoch, mean_loss)
+    autoencoder.eval()
+    return history

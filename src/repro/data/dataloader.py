@@ -1,0 +1,67 @@
+"""Mini-batch iteration over in-memory datasets.
+
+Batches are produced as contiguous array slices of a (possibly shuffled)
+index permutation — one fancy-index gather per batch, no per-sample
+Python loop (guide: vectorize the hot path).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.utils.rng import as_generator
+
+__all__ = ["DataLoader"]
+
+
+class DataLoader:
+    """Iterate (images, labels) mini-batches.
+
+    Parameters
+    ----------
+    dataset:
+        Any :class:`~repro.data.dataset.Dataset` exposing ``images``/``labels``.
+    batch_size:
+        Samples per batch (last batch may be smaller unless ``drop_last``).
+    shuffle:
+        Re-permute sample order each epoch.
+    rng:
+        Generator (or seed) driving the permutation; required for
+        deterministic experiments when ``shuffle=True``.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 64,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.rng = as_generator(rng)
+        # Materialize once: datasets are in-memory arrays in this library.
+        self._images = dataset.images
+        self._labels = dataset.labels
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self.rng.permutation(n) if self.shuffle else np.arange(n)
+        stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, stop, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            yield self._images[idx], self._labels[idx]

@@ -1,0 +1,57 @@
+"""Train/test splitting and stratified subsetting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.utils.rng import as_generator, stratified_indices
+
+__all__ = ["train_test_split", "stratified_subset"]
+
+
+def train_test_split(
+    dataset: ArrayDataset,
+    test_fraction: float = 0.2,
+    rng: np.random.Generator | int | None = None,
+    stratify: bool = True,
+) -> tuple[ArrayDataset, ArrayDataset]:
+    """Split into (train, test), optionally stratified by class label."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = as_generator(rng)
+    n = len(dataset)
+    if stratify:
+        test_idx = stratified_indices(dataset.labels, test_fraction, rng)
+    else:
+        test_idx = rng.choice(n, size=int(round(test_fraction * n)), replace=False)
+    mask = np.ones(n, dtype=bool)
+    mask[test_idx] = False
+    return dataset.select(np.flatnonzero(mask)), dataset.select(test_idx)
+
+
+def stratified_subset(
+    dataset: ArrayDataset,
+    fraction: float,
+    rng: np.random.Generator | int | None = None,
+    by: str | None = None,
+) -> ArrayDataset:
+    """Subset preserving class balance (and, via ``by``, any meta column).
+
+    The scalability experiments (Figs 6-8) stratify on the *joint* key of
+    class label and hard/easy flag, so the hard-image proportion stays
+    constant as the dataset-size ratio shrinks — exactly the paper's
+    protocol ("the proportion of hard test images used in each experiment
+    remained roughly the same").
+    """
+    rng = as_generator(rng)
+    labels = dataset.labels
+    if by is not None:
+        if by not in dataset.meta:
+            raise KeyError(f"meta column {by!r} not present; have {sorted(dataset.meta)}")
+        flag = dataset.meta[by].astype(np.int64)
+        joint = labels * 2 + flag  # unique id per (class, flag) pair
+        idx = stratified_indices(joint, fraction, rng)
+    else:
+        idx = stratified_indices(labels, fraction, rng)
+    return dataset.select(idx)

@@ -1,0 +1,19 @@
+"""Procedural 28x28 grayscale dataset generators (MNIST-family stand-ins).
+
+See DESIGN.md §2 for the substitution rationale: the generators reproduce
+the property CBNet exploits — a dataset-specific mix of *easy* samples
+(clean, prototypical) and *hard* samples (blurred, noisy, occluded,
+warped) — with hard fractions tuned to the paper's early-exit rates.
+"""
+
+from repro.data.synth.registry import load_dataset, DATASET_SPECS, SyntheticSpec, generate_split
+from repro.data.synth.corruption import corrupt_batch, CORRUPTIONS
+
+__all__ = [
+    "load_dataset",
+    "generate_split",
+    "DATASET_SPECS",
+    "SyntheticSpec",
+    "corrupt_batch",
+    "CORRUPTIONS",
+]

@@ -1,0 +1,106 @@
+"""MNIST-like handwritten-digit generator.
+
+Each digit class is a fixed stroke template (polylines + elliptical arcs
+on the unit canvas) rendered with per-sample affine jitter, control-point
+noise, and stroke-width variation — the same nuisance factors that make
+real handwriting vary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.synth import render
+
+__all__ = ["digit_template", "render_digits", "NUM_CLASSES"]
+
+NUM_CLASSES = 10
+_ARC_N = 18
+
+
+def _seg(*points: tuple[float, float]) -> np.ndarray:
+    return np.asarray(points, dtype=np.float32)
+
+
+def digit_template(digit: int) -> list[np.ndarray]:
+    """Stroke polylines (each (P, 2)) for one digit class."""
+    if not 0 <= digit <= 9:
+        raise ValueError(f"digit must be 0-9, got {digit}")
+    arc = render.sample_arc
+    if digit == 0:
+        return [arc((0.5, 0.5), 0.20, 0.30, 0.0, 360.0, n=2 * _ARC_N)]
+    if digit == 1:
+        return [_seg((0.38, 0.32), (0.52, 0.18), (0.52, 0.82))]
+    if digit == 2:
+        top = arc((0.5, 0.36), 0.18, 0.17, 180.0, 365.0, n=_ARC_N)
+        return [
+            np.concatenate([top, _seg((0.68, 0.41), (0.32, 0.80), (0.70, 0.80))]),
+        ]
+    if digit == 3:
+        return [
+            arc((0.47, 0.345), 0.16, 0.155, -150.0, 90.0, n=_ARC_N),
+            arc((0.47, 0.655), 0.18, 0.165, -90.0, 150.0, n=_ARC_N),
+        ]
+    if digit == 4:
+        return [
+            _seg((0.60, 0.18), (0.30, 0.56), (0.75, 0.56)),
+            _seg((0.62, 0.30), (0.62, 0.82)),
+        ]
+    if digit == 5:
+        return [
+            _seg((0.68, 0.20), (0.35, 0.20), (0.33, 0.47)),
+            arc((0.47, 0.63), 0.185, 0.185, -105.0, 140.0, n=_ARC_N),
+        ]
+    if digit == 6:
+        return [
+            _seg((0.64, 0.18), (0.46, 0.32), (0.36, 0.50), (0.33, 0.64)),
+            arc((0.50, 0.64), 0.17, 0.17, 0.0, 360.0, n=2 * _ARC_N),
+        ]
+    if digit == 7:
+        return [_seg((0.30, 0.20), (0.70, 0.20), (0.42, 0.82))]
+    if digit == 8:
+        return [
+            arc((0.5, 0.345), 0.145, 0.15, 0.0, 360.0, n=2 * _ARC_N),
+            arc((0.5, 0.665), 0.175, 0.17, 0.0, 360.0, n=2 * _ARC_N),
+        ]
+    # digit == 9
+    return [
+        arc((0.5, 0.36), 0.165, 0.165, 0.0, 360.0, n=2 * _ARC_N),
+        _seg((0.665, 0.38), (0.645, 0.60), (0.545, 0.82)),
+    ]
+
+
+def render_digits(
+    labels: np.ndarray,
+    rng: np.random.Generator,
+    side: int = 28,
+    jitter: float = 1.0,
+) -> np.ndarray:
+    """Render a batch of digit images for ``labels`` → (N, side, side).
+
+    ``jitter`` scales all nuisance magnitudes (0 = perfectly prototypical).
+    Samples are grouped by class so each class renders as one vectorized
+    batch.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    n = labels.shape[0]
+    out = np.zeros((n, side, side), dtype=np.float32)
+    for digit in np.unique(labels):
+        idx = np.flatnonzero(labels == digit)
+        template = digit_template(int(digit))
+        mats = render.random_affine(
+            rng,
+            idx.size,
+            max_rotate_deg=9.0 * jitter,
+            scale_range=(1.0 - 0.12 * jitter, 1.0 + 0.12 * jitter),
+            max_translate=0.05 * jitter,
+            max_shear=0.10 * jitter,
+        )
+        polys = []
+        for stroke in template:
+            batch = np.broadcast_to(stroke, (idx.size, *stroke.shape)).copy()
+            batch += rng.normal(0.0, 0.008 * jitter, size=batch.shape).astype(np.float32)
+            polys.append(render.apply_affine(batch, mats))
+        thickness = rng.uniform(0.030, 0.046, idx.size).astype(np.float32)
+        out[idx] = render.raster_polylines(polys, thickness, side=side)
+    return out

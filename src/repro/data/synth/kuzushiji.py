@@ -1,0 +1,100 @@
+"""Kuzushiji-MNIST-like generator: cursive stroke glyphs.
+
+Each of the 10 classes is a fixed set of smooth random strokes (Catmull-
+Rom splines through class-template control points drawn from a *fixed*
+per-class seed, so the classes are stable across runs and processes).
+Per-sample variation: control-point jitter + affine + stroke width.
+
+Cursive Japanese has higher intra-class variability than digits, which is
+exactly why KMNIST shows the lowest early-exit rate in the paper (63%);
+the jitter magnitudes here are correspondingly larger than in
+:mod:`repro.data.synth.digits`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.synth import render
+
+__all__ = ["kuzushiji_template", "render_kuzushiji", "NUM_CLASSES"]
+
+NUM_CLASSES = 10
+_TEMPLATE_SEED = 7177  # fixed template universe: classes identical across runs
+_CTRL_POINTS = 5
+_STROKES_PER_CLASS = 3
+_CURVE_SAMPLES = 24
+
+
+def _catmull_rom(ctrl: np.ndarray, samples: int) -> np.ndarray:
+    """Catmull-Rom spline through control points; ctrl (..., P, 2)."""
+    p = ctrl.shape[-2]
+    if p < 4:
+        raise ValueError(f"need >= 4 control points, got {p}")
+    # Parameter positions: one curve segment per interior control pair.
+    segments = p - 3
+    ts = np.linspace(0.0, 1.0, samples // segments + 1, dtype=np.float32)[:-1]
+    pieces = []
+    for s in range(segments):
+        p0 = ctrl[..., s, :]
+        p1 = ctrl[..., s + 1, :]
+        p2 = ctrl[..., s + 2, :]
+        p3 = ctrl[..., s + 3, :]
+        t = ts[:, None]
+        t2, t3 = t * t, t * t * t
+        point = 0.5 * (
+            (2 * p1)[..., None, :]
+            + (p2 - p0)[..., None, :] * t
+            + (2 * p0 - 5 * p1 + 4 * p2 - p3)[..., None, :] * t2
+            + (-p0 + 3 * p1 - 3 * p2 + p3)[..., None, :] * t3
+        )
+        pieces.append(point)
+    pieces.append(ctrl[..., -2, :][..., None, :])
+    return np.concatenate(pieces, axis=-2).astype(np.float32)
+
+
+def kuzushiji_template(label: int) -> np.ndarray:
+    """Control points for one class: (strokes, ctrl_points, 2)."""
+    if not 0 <= label <= 9:
+        raise ValueError(f"label must be 0-9, got {label}")
+    rng = np.random.default_rng(_TEMPLATE_SEED + label)
+    ctrl = rng.uniform(0.22, 0.78, size=(_STROKES_PER_CLASS, _CTRL_POINTS, 2))
+    # Sort each stroke's control points vertically — calligraphic strokes
+    # flow downward, which keeps the splines from doubling back wildly.
+    order = np.argsort(ctrl[:, :, 1], axis=1)
+    ctrl = np.take_along_axis(ctrl, order[:, :, None], axis=1)
+    return ctrl.astype(np.float32)
+
+
+def render_kuzushiji(
+    labels: np.ndarray,
+    rng: np.random.Generator,
+    side: int = 28,
+    jitter: float = 1.0,
+) -> np.ndarray:
+    """Render cursive glyphs for ``labels`` → (N, side, side)."""
+    labels = np.asarray(labels, dtype=np.int64)
+    n = labels.shape[0]
+    out = np.zeros((n, side, side), dtype=np.float32)
+    for label in np.unique(labels):
+        idx = np.flatnonzero(labels == label)
+        template = kuzushiji_template(int(label))  # (S, P, 2)
+        mats = render.random_affine(
+            rng,
+            idx.size,
+            max_rotate_deg=12.0 * jitter,
+            scale_range=(1.0 - 0.14 * jitter, 1.0 + 0.14 * jitter),
+            max_translate=0.05 * jitter,
+            max_shear=0.12 * jitter,
+        )
+        polys = []
+        for s in range(template.shape[0]):
+            ctrl = np.broadcast_to(
+                template[s], (idx.size, _CTRL_POINTS, 2)
+            ).copy()
+            ctrl += rng.normal(0.0, 0.020 * jitter, size=ctrl.shape).astype(np.float32)
+            curve = _catmull_rom(ctrl, _CURVE_SAMPLES)
+            polys.append(render.apply_affine(curve, mats))
+        thickness = rng.uniform(0.026, 0.044, idx.size).astype(np.float32)
+        out[idx] = render.raster_polylines(polys, thickness, side=side)
+    return out

@@ -1,0 +1,93 @@
+"""ASCII chart rendering — the harness's stand-in for matplotlib.
+
+Each paper figure is regenerated as (a) the numeric series, printed as a
+table, and (b) a quick-look ASCII chart so trends are visible directly in
+benchmark output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Series", "ascii_line_chart", "ascii_bar_chart"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named line in a chart."""
+
+    name: str
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(f"{self.name}: x has {len(self.x)} points, y has {len(self.y)}")
+
+
+_MARKS = "ox+*#@%&"
+
+
+def ascii_line_chart(
+    series: list[Series],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Scatter/line chart over a character grid, one marker per series."""
+    if not series:
+        raise ValueError("need at least one series")
+    all_x = np.concatenate([np.asarray(s.x, dtype=float) for s in series])
+    all_y = np.concatenate([np.asarray(s.y, dtype=float) for s in series])
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, s in enumerate(series):
+        mark = _MARKS[si % len(_MARKS)]
+        for xv, yv in zip(s.x, s.y):
+            col = int(round((xv - x_lo) / x_span * (width - 1)))
+            row = height - 1 - int(round((yv - y_lo) / y_span * (height - 1)))
+            grid[row][col] = mark
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:10.3g} ┐")
+    for row in grid:
+        lines.append(" " * 11 + "│" + "".join(row))
+    lines.append(f"{y_lo:10.3g} └" + "─" * width)
+    lines.append(" " * 12 + f"{x_lo:<10.3g}" + " " * max(0, width - 20) + f"{x_hi:>10.3g}")
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {s.name}" for i, s in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    if y_label:
+        lines.append(" " * 12 + f"(y: {y_label})")
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    labels: list[str],
+    values: list[float],
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart (used for the Fig. 5 model comparison)."""
+    if len(labels) != len(values):
+        raise ValueError(f"{len(labels)} labels but {len(values)} values")
+    if not values:
+        raise ValueError("need at least one bar")
+    peak = max(abs(v) for v in values) or 1.0
+    name_w = max(len(l) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "█" * max(1, int(round(abs(value) / peak * width)))
+        lines.append(f"{label.ljust(name_w)} │{bar} {value:.3g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""`repro.experiments` — one module per table/figure of the paper.
+
+=================  ================================================
+module             reproduces
+=================  ================================================
+``table1``         Table I  — converting-AE architectures
+``fig3``           Fig. 3   — BranchyNet speedup vs hard fraction
+``table2``         Table II — latency / energy / accuracy grid
+``fig5``           Fig. 5   — baseline comparison on MNIST / Pi 4
+``scalability``    Figs 6-8 — dataset-size scaling per device
+``ablations``      DESIGN.md §5 — design-choice sweeps
+=================  ================================================
+
+Every experiment takes ``fast=True`` for a down-scaled run (small
+datasets, few epochs) and ``fast=False`` for the paper-scale run, and
+returns a dataclass of plain numbers plus a ``render()`` string.
+"""
+
+from repro.experiments.common import ExperimentScale, scale_for
+from repro.experiments.table1 import run_table1
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.table2 import run_table2
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.scalability import run_scalability
+from repro.experiments.ablations import (
+    run_bottleneck_ablation,
+    run_activation_ablation,
+    run_threshold_sweep,
+    run_hard_fraction_sweep,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "scale_for",
+    "run_table1",
+    "run_fig3",
+    "run_table2",
+    "run_fig5",
+    "run_scalability",
+    "run_bottleneck_ablation",
+    "run_activation_ablation",
+    "run_threshold_sweep",
+    "run_hard_fraction_sweep",
+]

@@ -1,0 +1,90 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Examples
+--------
+::
+
+    cbnet-experiment table2 --fast
+    cbnet-experiment fig5
+    cbnet-experiment scalability --dataset fmnist
+    cbnet-experiment all --fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.ablations import (
+    run_activation_ablation,
+    run_bottleneck_ablation,
+    run_hard_fraction_sweep,
+    run_threshold_sweep,
+)
+from repro.experiments.common import DATASETS
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.scalability import run_scalability
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="cbnet-experiment",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[
+            "table1",
+            "table2",
+            "fig3",
+            "fig5",
+            "scalability",
+            "ablations",
+            "report",
+            "all",
+        ],
+    )
+    parser.add_argument("--fast", action="store_true", help="down-scaled run")
+    parser.add_argument("--dataset", default=None, help="restrict to one dataset")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    datasets = (args.dataset,) if args.dataset else DATASETS
+
+    def emit(text: str) -> None:
+        print(text)
+        print()
+
+    if args.experiment in ("table1", "all"):
+        emit(run_table1().render())
+    if args.experiment in ("fig3", "all"):
+        emit(run_fig3(fast=args.fast, seed=args.seed).render())
+    if args.experiment in ("table2", "all"):
+        emit(run_table2(fast=args.fast, datasets=datasets, seed=args.seed).render())
+    if args.experiment in ("fig5", "all"):
+        emit(run_fig5(fast=args.fast, seed=args.seed).render())
+    if args.experiment in ("scalability", "all"):
+        for name in datasets:
+            emit(run_scalability(name, fast=args.fast, seed=args.seed).render())
+    if args.experiment in ("ablations", "all"):
+        emit(run_bottleneck_ablation(seed=args.seed).render())
+        emit(run_activation_ablation(seed=args.seed).render())
+        emit(run_threshold_sweep(fast=args.fast, seed=args.seed).render())
+        emit(run_hard_fraction_sweep(seed=args.seed).render())
+    if args.experiment == "report":
+        from pathlib import Path
+
+        from repro.eval.report import collect_report
+
+        results = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+        emit(collect_report(results))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,115 @@
+"""Fig. 5 — inference latency and accuracy of LeNet, BranchyNet, AdaDeep,
+SubFlow and CBNet on MNIST / Raspberry Pi 4.
+
+Paper reading: CBNet is 3.78x faster than AdaDeep and 4.85x faster than
+SubFlow while also being more accurate; both compression baselines are
+slower than BranchyNet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.adadeep import AdaDeepCompressor
+from repro.baselines.subflow import SubFlowExecutor
+from repro.eval.figures import ascii_bar_chart
+from repro.eval.metrics import accuracy
+from repro.eval.tables import Table
+from repro.experiments.common import lenet_for, pipeline_for, scale_for
+from repro.hw.devices import raspberry_pi4
+from repro.hw.latency import branchynet_expected_latency, cbnet_latency, lenet_latency
+from repro.utils.rng import derive_seed
+
+__all__ = ["Fig5Bar", "Fig5Result", "run_fig5"]
+
+SUBFLOW_UTILIZATION = 0.85  # operating point analogous to the paper's setup
+
+
+@dataclass(frozen=True)
+class Fig5Bar:
+    model: str
+    latency_ms: float
+    accuracy_pct: float
+
+
+@dataclass
+class Fig5Result:
+    bars: list[Fig5Bar]
+
+    def render(self) -> str:
+        table = Table(
+            headers=["model", "latency (ms)", "accuracy (%)"],
+            title="Fig. 5: model comparison, MNIST on Raspberry Pi 4",
+        )
+        for b in self.bars:
+            table.add_row(b.model, f"{b.latency_ms:.3f}", f"{b.accuracy_pct:.2f}")
+        chart = ascii_bar_chart(
+            [b.model for b in self.bars],
+            [b.latency_ms for b in self.bars],
+            title="inference latency (ms)",
+            unit="ms",
+        )
+        return table.render() + "\n\n" + chart
+
+    def bar(self, model: str) -> Fig5Bar:
+        for b in self.bars:
+            if b.model == model:
+                return b
+        raise KeyError(model)
+
+
+def run_fig5(fast: bool = True, seed: int = 0) -> Fig5Result:
+    """Evaluate all five systems on the MNIST test set / Pi-4 profile."""
+    scale = scale_for(fast)
+    device = raspberry_pi4()
+    artifacts = pipeline_for("mnist", scale, seed=seed)
+    lenet = lenet_for("mnist", scale, seed=seed)
+    train, test = artifacts.datasets["train"], artifacts.datasets["test"]
+    images, labels = test.images, test.labels
+
+    bars: list[Fig5Bar] = []
+
+    t_lenet = lenet_latency(lenet, device)
+    bars.append(
+        Fig5Bar("LeNet", t_lenet * 1e3, 100 * accuracy(lenet.predict(images), labels))
+    )
+
+    branchy_res = artifacts.branchynet.infer(images)
+    t_branchy = branchynet_expected_latency(
+        artifacts.branchynet, device, branchy_res.early_exit_rate
+    ).expected
+    bars.append(
+        Fig5Bar(
+            "BranchyNet",
+            t_branchy * 1e3,
+            100 * accuracy(branchy_res.predictions, labels),
+        )
+    )
+
+    ada = AdaDeepCompressor().compress(
+        lenet, train, test, device, rng=derive_seed(seed, "fig5", "adadeep")
+    )
+    bars.append(Fig5Bar("AdaDeep", ada.latency_s * 1e3, 100 * ada.accuracy))
+
+    subflow = SubFlowExecutor(lenet, utilization=SUBFLOW_UTILIZATION)
+    bars.append(
+        Fig5Bar(
+            "SubFlow",
+            subflow.latency(device) * 1e3,
+            100 * subflow.accuracy(images, labels),
+        )
+    )
+
+    cb = cbnet_latency(artifacts.cbnet, device)
+    bars.append(
+        Fig5Bar(
+            "CBNet",
+            cb.total * 1e3,
+            100 * accuracy(artifacts.cbnet.predict(images), labels),
+        )
+    )
+    return Fig5Result(bars=bars)
+
+
+if __name__ == "__main__":
+    print(run_fig5().render())

@@ -1,0 +1,87 @@
+"""Table II — latency per image, energy savings w.r.t. LeNet, and
+accuracy for LeNet / BranchyNet / CBNet x {MNIST, FMNIST, KMNIST} x
+{Raspberry Pi 4, GCI, GCI+GPU}.
+
+Also prints the §IV-D side statistics: per-dataset early-exit rates and
+the autoencoder's share of CBNet latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.eval.runner import DatasetEvaluation, evaluate_dataset
+from repro.eval.tables import Table
+from repro.experiments.common import DATASETS, lenet_for, pipeline_for, scale_for
+from repro.hw.devices import DEVICES
+
+__all__ = ["Table2Result", "run_table2"]
+
+_DEVICE_ORDER = ("raspberry-pi4", "gci-cpu", "gci-k80")
+_MODEL_ORDER = ("lenet", "branchynet", "cbnet")
+
+
+@dataclass
+class Table2Result:
+    evaluations: dict[str, DatasetEvaluation] = field(default_factory=dict)
+
+    def render(self) -> str:
+        table = Table(
+            headers=[
+                "dataset",
+                "model",
+                "lat Pi4 (ms)",
+                "lat GCI (ms)",
+                "lat GPU (ms)",
+                "E-save Pi4 (%)",
+                "E-save GCI (%)",
+                "E-save GPU (%)",
+                "accuracy (%)",
+            ],
+            title="Table II: latency, energy savings w.r.t. LeNet, accuracy",
+        )
+        for dataset, ev in self.evaluations.items():
+            for model in _MODEL_ORDER:
+                cells = [ev.cell(model, d) for d in _DEVICE_ORDER]
+                save = [
+                    "-" if c.energy_savings_vs_lenet_pct is None
+                    else f"{c.energy_savings_vs_lenet_pct:.0f}"
+                    for c in cells
+                ]
+                table.add_row(
+                    dataset,
+                    model,
+                    f"{cells[0].latency_ms:.3f}",
+                    f"{cells[1].latency_ms:.3f}",
+                    f"{cells[2].latency_ms:.3f}",
+                    *save,
+                    f"{cells[0].accuracy_pct:.2f}",
+                )
+        lines = [table.render(), "", "operating points (paper §IV-D):"]
+        for dataset, ev in self.evaluations.items():
+            share = ev.ae_latency_share.get("raspberry-pi4", 0.0)
+            lines.append(
+                f"  {dataset}: early-exit rate {100 * ev.early_exit_rate:.2f}%  "
+                f"AE share of CBNet latency {100 * share:.1f}%"
+            )
+        return "\n".join(lines)
+
+
+def run_table2(
+    fast: bool = True,
+    datasets: tuple[str, ...] = DATASETS,
+    seed: int = 0,
+) -> Table2Result:
+    """Regenerate every cell of Table II."""
+    scale = scale_for(fast)
+    devices = DEVICES()
+    result = Table2Result()
+    for name in datasets:
+        artifacts = pipeline_for(name, scale, seed=seed)
+        lenet = lenet_for(name, scale, seed=seed)
+        result.evaluations[name] = evaluate_dataset(artifacts, lenet, devices)
+    return result
+
+
+if __name__ == "__main__":
+    print(run_table2().render())

@@ -1,0 +1,119 @@
+"""Edge-serving simulation: latency percentiles under load.
+
+The paper reports *mean* per-image latency; a deployment decision also
+needs tail behaviour under bursty arrivals.  This module simulates an
+M/D/1-style serving loop on a simulated device: Poisson request
+arrivals, a FIFO queue, deterministic per-request service time taken
+from the calibrated latency model.  Because CBNet's service time is both
+small and constant while BranchyNet's is bimodal (early vs full path),
+their tails separate much more than their means — a deployment-relevant
+result the evaluation harness can now quantify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = ["ServingStats", "simulate_serving", "bimodal_service_sampler"]
+
+
+@dataclass(frozen=True)
+class ServingStats:
+    """Sojourn-time statistics of one serving simulation."""
+
+    mean_s: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    max_s: float
+    utilization: float  # busy fraction of the server
+    n_requests: int
+
+    def summary(self) -> str:
+        return (
+            f"mean {self.mean_s * 1e3:.2f} ms | p95 {self.p95_s * 1e3:.2f} ms | "
+            f"p99 {self.p99_s * 1e3:.2f} ms | util {self.utilization:.0%}"
+        )
+
+
+def simulate_serving(
+    service_time_s: float | "callable",
+    arrival_rate_hz: float,
+    n_requests: int = 10_000,
+    rng: np.random.Generator | int | None = None,
+) -> ServingStats:
+    """Single-server FIFO queue with Poisson arrivals.
+
+    Parameters
+    ----------
+    service_time_s:
+        Either a constant service time (seconds) or a callable
+        ``f(rng, n) -> np.ndarray`` sampling per-request service times
+        (see :func:`bimodal_service_sampler` for BranchyNet).
+    arrival_rate_hz:
+        Mean request arrival rate.  The system must be stable
+        (rate x mean service < 1), otherwise the queue diverges and the
+        function raises.
+    """
+    if arrival_rate_hz <= 0:
+        raise ValueError(f"arrival rate must be positive, got {arrival_rate_hz}")
+    if n_requests <= 0:
+        raise ValueError(f"n_requests must be positive, got {n_requests}")
+    rng = as_generator(rng)
+
+    if callable(service_time_s):
+        services = np.asarray(service_time_s(rng, n_requests), dtype=np.float64)
+    else:
+        if service_time_s <= 0:
+            raise ValueError(f"service time must be positive, got {service_time_s}")
+        services = np.full(n_requests, float(service_time_s))
+    offered_load = arrival_rate_hz * services.mean()
+    if offered_load >= 1.0:
+        raise ValueError(
+            f"unstable system: offered load {offered_load:.2f} >= 1 "
+            f"(rate {arrival_rate_hz:.1f}/s x mean service {services.mean() * 1e3:.2f} ms)"
+        )
+
+    arrivals = np.cumsum(rng.exponential(1.0 / arrival_rate_hz, n_requests))
+    # Lindley recursion: completion_i = max(arrival_i, completion_{i-1}) + s_i.
+    completions = np.empty(n_requests)
+    prev = 0.0
+    for i in range(n_requests):
+        start = arrivals[i] if arrivals[i] > prev else prev
+        prev = start + services[i]
+        completions[i] = prev
+    sojourn = completions - arrivals
+    busy = services.sum() / completions[-1]
+    return ServingStats(
+        mean_s=float(sojourn.mean()),
+        p50_s=float(np.percentile(sojourn, 50)),
+        p95_s=float(np.percentile(sojourn, 95)),
+        p99_s=float(np.percentile(sojourn, 99)),
+        max_s=float(sojourn.max()),
+        utilization=float(busy),
+        n_requests=n_requests,
+    )
+
+
+def bimodal_service_sampler(
+    early_s: float, full_s: float, exit_rate: float
+):
+    """Service-time sampler for an early-exit model.
+
+    Each request takes the early path with probability ``exit_rate`` and
+    the full path otherwise — BranchyNet's per-request service process.
+    """
+    if not 0.0 <= exit_rate <= 1.0:
+        raise ValueError(f"exit_rate must be in [0, 1], got {exit_rate}")
+    if early_s <= 0 or full_s <= 0:
+        raise ValueError("service times must be positive")
+
+    def sample(rng: np.random.Generator, n: int) -> np.ndarray:
+        early = rng.random(n) < exit_rate
+        return np.where(early, early_s, full_s)
+
+    return sample

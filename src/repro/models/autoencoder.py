@@ -1,0 +1,162 @@
+"""The converting autoencoder (the paper's core contribution, Table I).
+
+A three-hidden-layer MLP that maps a (possibly hard) 784-pixel image to
+an *easy* image of the same class.  Architectures are dataset-specific
+and follow Table I exactly:
+
+=================  =======  =======  =======
+layer              MNIST    FMNIST   KMNIST
+=================  =======  =======  =======
+Input              784      784      784
+FullyConnected1    784/relu 512/relu 512/relu
+FullyConnected2    384/relu 256/relu 384/linear
+FullyConnected3    32/lin   128/lin  32/linear
+FullyConnected4    784/Soft 784/Soft 784/Softmax
+=================  =======  =======  =======
+
+The encoder output (FullyConnected3) carries an L1 activity penalty with
+coefficient 10e-8 (paper §III-A3), added to the reconstruction loss by
+the trainer.
+
+The Softmax output head means reconstructions are *probability images*
+(unit-sum over the 784 pixels); training targets are normalized with
+:func:`repro.data.transforms.to_unit_sum` and inference outputs are
+rescaled back to peak-1 with :func:`from_unit_sum` before classification.
+A ``sigmoid`` head is provided as an ablation (see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn import no_grad
+from repro.nn.layers import ActivityRegularizer, Linear, Scale
+from repro.nn.layers.activation import activation_by_name
+from repro.nn.module import Module, Sequential
+from repro.nn.tensor import Tensor
+from repro.utils.rng import as_generator
+
+__all__ = ["AutoencoderSpec", "TABLE1_SPECS", "ConvertingAutoencoder"]
+
+# The paper writes the coefficient as "10e-8" = 1e-7.
+L1_ACTIVITY_COEFF = 1e-7
+
+
+@dataclass(frozen=True)
+class AutoencoderSpec:
+    """Architecture description for one dataset's converting autoencoder."""
+
+    name: str
+    layer_sizes: tuple[int, ...]  # hidden1, hidden2, hidden3 (bottleneck last)
+    activations: tuple[str, ...]  # one per hidden layer
+    output_activation: str = "softmax"
+    input_dim: int = 784
+    l1_activity: float = L1_ACTIVITY_COEFF
+
+    def __post_init__(self) -> None:
+        if len(self.layer_sizes) != len(self.activations):
+            raise ValueError(
+                f"{self.name}: {len(self.layer_sizes)} layers but "
+                f"{len(self.activations)} activations"
+            )
+
+
+TABLE1_SPECS: dict[str, AutoencoderSpec] = {
+    "mnist": AutoencoderSpec(
+        name="mnist",
+        layer_sizes=(784, 384, 32),
+        activations=("relu", "relu", "linear"),
+    ),
+    "fmnist": AutoencoderSpec(
+        name="fmnist",
+        layer_sizes=(512, 256, 128),
+        activations=("relu", "relu", "linear"),
+    ),
+    "kmnist": AutoencoderSpec(
+        name="kmnist",
+        layer_sizes=(512, 384, 32),
+        activations=("relu", "linear", "linear"),
+    ),
+}
+
+
+class ConvertingAutoencoder(Module):
+    """Hard→easy image converter.
+
+    Parameters
+    ----------
+    spec:
+        Architecture (one of :data:`TABLE1_SPECS` or a custom spec).
+    rng:
+        Weight-init generator.
+    """
+
+    def __init__(self, spec: AutoencoderSpec, rng: np.random.Generator | int | None = None):
+        super().__init__()
+        rng = as_generator(rng)
+        self.spec = spec
+        layers: list[Module] = []
+        width = spec.input_dim
+        for size, act in zip(spec.layer_sizes, spec.activations):
+            layers.append(Linear(width, size, rng=rng))
+            layers.append(activation_by_name(act))
+            width = size
+        self.encoder = Sequential(*layers)
+        self.activity_reg = ActivityRegularizer(l1=spec.l1_activity)
+        decoder_layers: list[Module] = [
+            Linear(width, spec.input_dim, rng=rng),
+            activation_by_name(spec.output_activation),
+        ]
+        if spec.output_activation == "softmax":
+            # softmax(z) * D: probability-image semantics (Table I) at a
+            # numeric scale where MSE gradients do not vanish — see
+            # repro.nn.layers.scale.Scale.
+            decoder_layers.append(Scale(spec.input_dim))
+        self.decoder = Sequential(*decoder_layers)
+
+    @classmethod
+    def for_dataset(
+        cls, name: str, rng: np.random.Generator | int | None = None, **overrides
+    ) -> "ConvertingAutoencoder":
+        """Build the Table-I architecture for a dataset by name."""
+        if name not in TABLE1_SPECS:
+            raise KeyError(f"no Table-I spec for {name!r}; have {sorted(TABLE1_SPECS)}")
+        spec = TABLE1_SPECS[name]
+        if overrides:
+            from dataclasses import replace
+
+            spec = replace(spec, **overrides)
+        return cls(spec, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Flat (N, 784) input → reconstructed (N, 784) easy image."""
+        if x.ndim != 2 or x.shape[1] != self.spec.input_dim:
+            raise ValueError(
+                f"autoencoder expects (N, {self.spec.input_dim}), got {x.shape}"
+            )
+        code = self.activity_reg(self.encoder(x))
+        return self.decoder(code)
+
+    def encode(self, x: Tensor) -> Tensor:
+        """Bottleneck representation (N, layer_sizes[-1])."""
+        return self.encoder(x)
+
+    def activity_penalty(self) -> Tensor | None:
+        """L1 penalty recorded by the last training forward pass."""
+        return self.activity_reg.pop_penalty()
+
+    def convert(self, images: np.ndarray, batch_size: int = 512) -> np.ndarray:
+        """Inference: NCHW or flat images → converted flat images (N, 784)."""
+        self.eval()
+        flat = images.reshape(images.shape[0], -1).astype(np.float32)
+        out = np.empty_like(flat)
+        with no_grad():
+            for start in range(0, flat.shape[0], batch_size):
+                sl = slice(start, start + batch_size)
+                out[sl] = self.forward(Tensor(flat[sl])).data
+        return out
+
+    def stages(self) -> list[tuple[str, Sequential]]:
+        return [("encoder", self.encoder), ("decoder", self.decoder)]

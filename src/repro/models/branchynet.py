@@ -1,0 +1,173 @@
+"""BranchyNet-LeNet (Teerapittayanon et al., 2016) with one early exit.
+
+Per the paper (§IV-B): "BranchyNet consists of three convolutional layers
+and two fully-connected layers in the main network.  It has one early-exit
+branch consisting of one convolutional layer and one fully-connected
+layer after the first convolutional layer of the main network."
+
+At inference, a sample exits at the branch when the entropy of the branch
+softmax falls below the dataset-specific threshold (0.05 MNIST / 0.5
+FMNIST / 0.025 KMNIST in the paper's experiments); otherwise it continues
+through the remaining main-network layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import no_grad
+from repro.nn.layers import Conv2d, Flatten, Linear, MaxPool2d, ReLU
+from repro.nn.module import Module, Sequential
+from repro.nn.tensor import Tensor
+from repro.utils.rng import as_generator
+
+__all__ = ["BranchyLeNet", "BranchyInferenceResult"]
+
+
+@dataclass
+class BranchyInferenceResult:
+    """Outcome of threshold-gated BranchyNet inference over a batch.
+
+    Attributes
+    ----------
+    predictions:
+        (N,) predicted labels.
+    exited_early:
+        (N,) bool — True where the sample left at the branch exit.
+    branch_entropy:
+        (N,) entropy of the branch softmax (the exit-gate statistic).
+    """
+
+    predictions: np.ndarray
+    exited_early: np.ndarray
+    branch_entropy: np.ndarray
+
+    @property
+    def early_exit_rate(self) -> float:
+        return float(self.exited_early.mean()) if self.exited_early.size else 0.0
+
+
+class BranchyLeNet(Module):
+    """LeNet-5 main network + one early-exit branch after conv1.
+
+    Stages
+    ------
+    ``stem``    conv1 + pool (shared by both exits): 1x28x28 → 4x12x12
+    ``branch``  pool + conv_b 4@3x3 + FC → logits    (exit 1)
+    ``trunk``   conv2, conv3, fc1, fc2 → logits      (exit 2 / final)
+
+    The stem + trunk is exactly the :class:`~repro.models.lenet.LeNet`
+    architecture (the "main network"); the branch adds one conv and one
+    FC layer, matching the paper's description.  The branch downsamples
+    first so the early-exit path stays cheap relative to the trunk —
+    mirroring the latency split the paper measures.
+    """
+
+    IN_SHAPE = (1, 28, 28)
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        rng: np.random.Generator | int | None = None,
+        entropy_threshold: float = 0.05,
+    ) -> None:
+        super().__init__()
+        rng = as_generator(rng)
+        self.num_classes = num_classes
+        self.entropy_threshold = float(entropy_threshold)
+        self.stem = Sequential(
+            Conv2d(1, 4, kernel_size=5, rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+        )
+        self.branch = Sequential(
+            MaxPool2d(2),
+            Conv2d(4, 4, kernel_size=3, padding=1, rng=rng),
+            ReLU(),
+            Flatten(),
+            Linear(4 * 6 * 6, num_classes, rng=rng),
+        )
+        self.trunk = Sequential(
+            Conv2d(4, 20, kernel_size=5, rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(20, 80, kernel_size=3, padding=1, rng=rng),
+            ReLU(),
+            Flatten(),
+            Linear(80 * 4 * 4, 120, rng=rng),
+            ReLU(),
+            Linear(120, num_classes, rng=rng),
+        )
+
+    # ------------------------------------------------------------------ #
+    # training path
+    # ------------------------------------------------------------------ #
+    def forward(self, x: Tensor) -> list[Tensor]:
+        """Return logits from every exit (joint-training path)."""
+        shared = self.stem(x)
+        return [self.branch(shared), self.trunk(shared)]
+
+    # ------------------------------------------------------------------ #
+    # inference path
+    # ------------------------------------------------------------------ #
+    def infer(
+        self,
+        images: np.ndarray,
+        threshold: float | None = None,
+        batch_size: int = 256,
+    ) -> BranchyInferenceResult:
+        """Threshold-gated early-exit inference over a raw image array.
+
+        Vectorized gating: the whole batch runs the stem + branch; only
+        the sub-batch whose branch entropy clears the threshold continues
+        through the trunk.  (On a real device samples arrive one at a
+        time; the latency model in :mod:`repro.hw.latency` accounts for
+        per-sample costs — here we only need predictions and exit masks.)
+        """
+        threshold = self.entropy_threshold if threshold is None else float(threshold)
+        self.eval()
+        preds = np.empty(images.shape[0], dtype=np.int64)
+        exited = np.empty(images.shape[0], dtype=bool)
+        entropies = np.empty(images.shape[0], dtype=np.float32)
+        with no_grad():
+            for start in range(0, images.shape[0], batch_size):
+                sl = slice(start, start + batch_size)
+                shared = self.stem(Tensor(images[sl]))
+                branch_logits = self.branch(shared).data
+                probs = _softmax_np(branch_logits)
+                ent = F.entropy(probs, axis=1)
+                take_early = ent < threshold
+                batch_preds = probs.argmax(axis=1)
+                if not take_early.all():
+                    hard_idx = np.flatnonzero(~take_early)
+                    trunk_logits = self.trunk(Tensor(shared.data[hard_idx])).data
+                    batch_preds[hard_idx] = trunk_logits.argmax(axis=1)
+                preds[sl] = batch_preds
+                exited[sl] = take_early
+                entropies[sl] = ent
+        return BranchyInferenceResult(preds, exited, entropies)
+
+    def branch_entropies(self, images: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Entropy of the branch softmax per sample (no trunk execution)."""
+        self.eval()
+        out = np.empty(images.shape[0], dtype=np.float32)
+        with no_grad():
+            for start in range(0, images.shape[0], batch_size):
+                sl = slice(start, start + batch_size)
+                logits = self.branch(self.stem(Tensor(images[sl]))).data
+                out[sl] = F.entropy(_softmax_np(logits), axis=1)
+        return out
+
+    def stages(self) -> list[tuple[str, Sequential]]:
+        """Named stages for the FLOPs/latency models."""
+        return [("stem", self.stem), ("branch", self.branch), ("trunk", self.trunk)]
+
+
+def _softmax_np(logits: np.ndarray) -> np.ndarray:
+    """Plain-array stable softmax (inference hot path, no autograd)."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=1, keepdims=True)

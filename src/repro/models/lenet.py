@@ -1,0 +1,84 @@
+"""Baseline LeNet (Lecun et al. 1998).
+
+The paper's "LeNet" baseline and BranchyNet-LeNet main network have
+"three convolutional layers and two fully-connected layers" — exactly the
+classic LeNet-5 layout (C1, C3, C5 convolutions; F6 and output dense
+layers), which is what this module implements for 28x28 grayscale input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Conv2d, Flatten, Linear, MaxPool2d, ReLU
+from repro.nn.module import Module, Sequential
+from repro.nn.tensor import Tensor
+from repro.utils.rng import as_generator
+
+__all__ = ["LeNet"]
+
+
+class LeNet(Module):
+    """LeNet-style classifier for 28x28 grayscale images.
+
+    Structure (spatial sizes for 28x28 input):
+
+    =====================  ==========================
+    conv1 4@5x5             1x28x28 → 4x24x24 → pool → 4x12x12
+    conv2 20@5x5            4x12x12 → 20x8x8  → pool → 20x4x4
+    conv3 80@3x3 pad 1      20x4x4  → 80x4x4
+    fc1   1280 → 120
+    fc2   120 → num_classes
+    =====================  ==========================
+
+    Channel widths differ from the 1998 LeNet-5: they are chosen so the
+    *cost split* between the first conv layer and the rest of the network
+    matches the latency ratios the paper measures between BranchyNet's
+    early-exit path and the full network (early path ≈ 15% of total
+    compute) — see DESIGN.md §2.  The layer count and layout ("three
+    convolutional layers and two fully-connected layers", paper §IV-B)
+    are preserved exactly.
+    """
+
+    IN_SHAPE = (1, 28, 28)
+
+    def __init__(self, num_classes: int = 10, rng: np.random.Generator | int | None = None):
+        super().__init__()
+        rng = as_generator(rng)
+        self.num_classes = num_classes
+        self.features = Sequential(
+            Conv2d(1, 4, kernel_size=5, rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(4, 20, kernel_size=5, rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(20, 80, kernel_size=3, padding=1, rng=rng),
+            ReLU(),
+        )
+        self.classifier = Sequential(
+            Flatten(),
+            Linear(80 * 4 * 4, 120, rng=rng),
+            ReLU(),
+            Linear(120, num_classes, rng=rng),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Return class logits (N, num_classes) for NCHW input."""
+        return self.classifier(self.features(x))
+
+    def predict(self, images: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Label predictions for a raw image array (inference mode)."""
+        from repro.nn import no_grad
+
+        self.eval()
+        outputs = []
+        with no_grad():
+            for start in range(0, images.shape[0], batch_size):
+                logits = self.forward(Tensor(images[start : start + batch_size]))
+                outputs.append(logits.data.argmax(axis=1))
+        return np.concatenate(outputs) if outputs else np.empty(0, dtype=np.int64)
+
+    def stages(self) -> list[tuple[str, Sequential]]:
+        """Named computation stages, consumed by the FLOPs/latency models."""
+        return [("features", self.features), ("classifier", self.classifier)]

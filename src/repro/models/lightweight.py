@@ -1,0 +1,92 @@
+"""Lightweight DNN classifier — the truncated early-exit branch.
+
+Paper §III-B: "the DNN is obtained by truncating the early-exit branch of
+BranchyNet ... The lightweight DNN consists of 2 convolutional layers and
+1 fully connected layer" — i.e. conv1 (shared stem) + the branch's conv +
+the branch's FC, with the trained BranchyNet weights copied in.
+
+For non-BranchyNet DNNs the same idea applies (layers 1..k plus a new
+output head); :meth:`LightweightClassifier.truncate_lenet` implements
+that generalization for the plain LeNet baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import no_grad
+from repro.nn.module import Module, Sequential
+from repro.nn.layers import Linear, ReLU, Flatten
+from repro.nn.tensor import Tensor
+from repro.utils.rng import as_generator
+
+__all__ = ["LightweightClassifier"]
+
+
+class LightweightClassifier(Module):
+    """Stem + branch classifier extracted from a trained BranchyNet."""
+
+    IN_SHAPE = (1, 28, 28)
+
+    def __init__(self, stem: Sequential, head: Sequential) -> None:
+        super().__init__()
+        self.stem = stem
+        self.head = head
+
+    @classmethod
+    def from_branchynet(cls, branchy: "Module") -> "LightweightClassifier":
+        """Truncate a (trained) :class:`~repro.models.branchynet.BranchyLeNet`.
+
+        The returned classifier *shares parameters* with the source model
+        (truncation, not a copy) — exactly what "obtained by truncating
+        the early-exit branch" means.  Call :meth:`detached` afterwards if
+        an independent copy is needed.
+        """
+        if not hasattr(branchy, "stem") or not hasattr(branchy, "branch"):
+            raise TypeError(f"expected a BranchyNet-style model, got {type(branchy).__name__}")
+        return cls(branchy.stem, branchy.branch)
+
+    @classmethod
+    def truncate_lenet(
+        cls,
+        lenet: "Module",
+        keep_layers: int = 3,
+        num_classes: int = 10,
+        rng: np.random.Generator | int | None = None,
+    ) -> "LightweightClassifier":
+        """Generalization to non-BranchyNet DNNs (paper §III-B): keep the
+        first ``keep_layers`` feature layers of a LeNet and append a fresh
+        output head (which must then be fine-tuned)."""
+        rng = as_generator(rng)
+        if not hasattr(lenet, "features"):
+            raise TypeError(f"expected a LeNet-style model, got {type(lenet).__name__}")
+        kept = lenet.features[:keep_layers]
+        # Infer the flat width by propagating a probe through the kept part.
+        with no_grad():
+            probe = Tensor(np.zeros((1, *cls.IN_SHAPE), dtype=np.float32))
+            flat_width = int(np.prod(kept(probe).shape[1:]))
+        head = Sequential(Flatten(), Linear(flat_width, num_classes, rng=rng))
+        return cls(kept, head)
+
+    def detached(self) -> "LightweightClassifier":
+        """Deep-copied classifier with independent parameters."""
+        import copy
+
+        return copy.deepcopy(self)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """NCHW input → class logits."""
+        return self.head(self.stem(x))
+
+    def predict(self, images: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Label predictions for a raw NCHW array (inference mode)."""
+        self.eval()
+        out = np.empty(images.shape[0], dtype=np.int64)
+        with no_grad():
+            for start in range(0, images.shape[0], batch_size):
+                sl = slice(start, start + batch_size)
+                out[sl] = self.forward(Tensor(images[sl])).data.argmax(axis=1)
+        return out
+
+    def stages(self) -> list[tuple[str, Sequential]]:
+        return [("stem", self.stem), ("head", self.head)]

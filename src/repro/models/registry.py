@@ -1,0 +1,43 @@
+"""Named model factory — lets experiments and the CLI build models from
+string identifiers."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.models.autoencoder import ConvertingAutoencoder
+from repro.models.branchynet import BranchyLeNet
+from repro.models.lenet import LeNet
+from repro.nn.module import Module
+
+__all__ = ["MODEL_BUILDERS", "build_model"]
+
+
+def _miniresnet(rng=None, **kw) -> Module:
+    from repro.models.resnet import MiniResNet
+
+    return MiniResNet(rng=rng, **kw)
+
+MODEL_BUILDERS: dict[str, Callable[..., Module]] = {
+    "lenet": lambda rng=None, **kw: LeNet(rng=rng, **kw),
+    "branchynet": lambda rng=None, **kw: BranchyLeNet(rng=rng, **kw),
+    "miniresnet": lambda rng=None, **kw: _miniresnet(rng=rng, **kw),
+    "autoencoder-mnist": lambda rng=None, **kw: ConvertingAutoencoder.for_dataset(
+        "mnist", rng=rng, **kw
+    ),
+    "autoencoder-fmnist": lambda rng=None, **kw: ConvertingAutoencoder.for_dataset(
+        "fmnist", rng=rng, **kw
+    ),
+    "autoencoder-kmnist": lambda rng=None, **kw: ConvertingAutoencoder.for_dataset(
+        "kmnist", rng=rng, **kw
+    ),
+}
+
+
+def build_model(name: str, rng: np.random.Generator | int | None = None, **kwargs) -> Module:
+    """Instantiate a registered model by name."""
+    if name not in MODEL_BUILDERS:
+        raise KeyError(f"unknown model {name!r}; available: {sorted(MODEL_BUILDERS)}")
+    return MODEL_BUILDERS[name](rng=rng, **kwargs)

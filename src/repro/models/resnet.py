@@ -1,0 +1,108 @@
+"""MiniResNet — the paper's §V architecture extension, at MNIST scale.
+
+The conclusion plans to extend CBNet to "more complex ... DNN
+architectures such as AlexNet and ResNet".  This module provides a
+residual network sized for 28x28 grayscale input so the generalized
+pipeline (:mod:`repro.core.generalized`) can be exercised on a modern
+architecture: truncate the first k feature layers, label by entropy,
+train the converting autoencoder, done — no BranchyNet, no LeNet.
+
+The model keeps the ``features`` / ``classifier`` stage layout shared by
+:class:`~repro.models.lenet.LeNet`, so truncation
+(:meth:`LightweightClassifier.truncate_lenet`), the FLOPs walker, and the
+latency model all work unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Conv2d, Flatten, Linear, MaxPool2d, ReLU
+from repro.nn.module import Module, Sequential
+from repro.nn.tensor import Tensor
+from repro.utils.rng import as_generator
+
+__all__ = ["ResidualBlock", "MiniResNet"]
+
+
+class ResidualBlock(Module):
+    """Two 3x3 convolutions with an identity (or 1x1-projected) skip.
+
+    Pre-activation is skipped for simplicity; this is the classic
+    post-activation block of He et al. (2016) without batch norm (the
+    nets here are shallow enough to train without it).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.conv1 = Conv2d(in_channels, out_channels, kernel_size=3, padding=1, rng=rng)
+        self.conv2 = Conv2d(out_channels, out_channels, kernel_size=3, padding=1, rng=rng)
+        self.projection = (
+            Conv2d(in_channels, out_channels, kernel_size=1, rng=rng)
+            if in_channels != out_channels
+            else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.conv2(self.conv1(x).relu())
+        skip = self.projection(x) if self.projection is not None else x
+        return (out + skip).relu()
+
+    def __repr__(self) -> str:
+        proj = ", projected" if self.projection is not None else ""
+        return f"ResidualBlock({self.conv1.in_channels}->{self.conv2.out_channels}{proj})"
+
+
+class MiniResNet(Module):
+    """A small residual classifier for 28x28 grayscale images.
+
+    Layout: conv stem → pool → residual block (8→16) → pool → residual
+    block (16→32) → pool → FC head.  ~3x the MACs of the LeNet used in
+    the main experiments, exercising deeper compute on the same substrate.
+    """
+
+    IN_SHAPE = (1, 28, 28)
+
+    def __init__(self, num_classes: int = 10, rng: np.random.Generator | int | None = None):
+        super().__init__()
+        rng = as_generator(rng)
+        self.num_classes = num_classes
+        self.features = Sequential(
+            Conv2d(1, 8, kernel_size=5, padding=2, rng=rng),
+            ReLU(),
+            MaxPool2d(2),  # 8x14x14
+            ResidualBlock(8, 16, rng=rng),
+            MaxPool2d(2),  # 16x7x7
+            ResidualBlock(16, 32, rng=rng),
+            MaxPool2d(2),  # 32x3x3
+        )
+        self.classifier = Sequential(
+            Flatten(),
+            Linear(32 * 3 * 3, 64, rng=rng),
+            ReLU(),
+            Linear(64, num_classes, rng=rng),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Return class logits (N, num_classes) for NCHW input."""
+        return self.classifier(self.features(x))
+
+    def predict(self, images: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        from repro.nn import no_grad
+
+        self.eval()
+        out = np.empty(images.shape[0], dtype=np.int64)
+        with no_grad():
+            for start in range(0, images.shape[0], batch_size):
+                sl = slice(start, start + batch_size)
+                out[sl] = self.forward(Tensor(images[sl])).data.argmax(axis=1)
+        return out
+
+    def stages(self) -> list[tuple[str, Sequential]]:
+        return [("features", self.features), ("classifier", self.classifier)]

@@ -1,0 +1,41 @@
+"""`repro.nn` — a from-scratch NumPy deep-learning framework.
+
+This is substrate #1 from DESIGN.md: the paper's models were built on
+Keras/BranchyNet; this package provides the equivalent capability
+(autograd tensors, conv/dense layers, losses, optimizers, checkpoints)
+with no dependencies beyond NumPy.
+"""
+
+from repro.nn.autograd import no_grad, enable_grad, grad_enabled, gradcheck
+from repro.nn.tensor import Tensor, as_tensor
+from repro.nn.module import Module, Parameter, Sequential, ModuleList
+from repro.nn.losses import MSELoss, CrossEntropyLoss, JointExitLoss
+from repro.nn import functional
+from repro.nn import init
+from repro.nn import layers
+from repro.nn import optim
+from repro.nn.serialization import save_model, load_into, save_state, load_state
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "Module",
+    "Parameter",
+    "Sequential",
+    "ModuleList",
+    "MSELoss",
+    "CrossEntropyLoss",
+    "JointExitLoss",
+    "functional",
+    "init",
+    "layers",
+    "optim",
+    "no_grad",
+    "enable_grad",
+    "grad_enabled",
+    "gradcheck",
+    "save_model",
+    "load_into",
+    "save_state",
+    "load_state",
+]

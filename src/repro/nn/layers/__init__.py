@@ -1,0 +1,28 @@
+"""Layer zoo: everything needed to express the paper's architectures."""
+
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.pooling import MaxPool2d, AvgPool2d
+from repro.nn.layers.activation import ReLU, Sigmoid, Tanh, Softmax, Identity, LeakyReLU
+from repro.nn.layers.shape import Flatten, Reshape
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.regularizers import ActivityRegularizer
+from repro.nn.layers.scale import Scale
+
+__all__ = [
+    "Linear",
+    "Conv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Softmax",
+    "Identity",
+    "LeakyReLU",
+    "Flatten",
+    "Reshape",
+    "Dropout",
+    "ActivityRegularizer",
+    "Scale",
+]

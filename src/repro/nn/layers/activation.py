@@ -1,0 +1,96 @@
+"""Activation layers; constructible by name (Table I specifies activations
+as strings: relu / linear / Softmax)."""
+
+from __future__ import annotations
+
+from repro.nn import functional as F
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Softmax",
+    "Identity",
+    "activation_by_name",
+]
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+    def __repr__(self) -> str:
+        return "ReLU()"
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu() - (-x).relu() * self.negative_slope
+
+    def __repr__(self) -> str:
+        return f"LeakyReLU(slope={self.negative_slope})"
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+    def __repr__(self) -> str:
+        return "Sigmoid()"
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+    def __repr__(self) -> str:
+        return "Tanh()"
+
+
+class Softmax(Module):
+    def __init__(self, axis: int = -1) -> None:
+        super().__init__()
+        self.axis = axis
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.softmax(x, axis=self.axis)
+
+    def __repr__(self) -> str:
+        return f"Softmax(axis={self.axis})"
+
+
+class Identity(Module):
+    """Pass-through ("linear" activation in Keras parlance / Table I)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+    def __repr__(self) -> str:
+        return "Identity()"
+
+
+_BY_NAME = {
+    "relu": ReLU,
+    "leaky_relu": LeakyReLU,
+    "sigmoid": Sigmoid,
+    "tanh": Tanh,
+    "softmax": Softmax,
+    "linear": Identity,
+    "identity": Identity,
+    "none": Identity,
+}
+
+
+def activation_by_name(name: str) -> Module:
+    """Instantiate an activation from its Table-I string name."""
+    key = name.strip().lower()
+    if key not in _BY_NAME:
+        raise KeyError(f"unknown activation {name!r}; known: {sorted(_BY_NAME)}")
+    return _BY_NAME[key]()

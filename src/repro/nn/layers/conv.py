@@ -1,0 +1,64 @@
+"""2-D convolution layer (im2col + GEMM under the hood)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+__all__ = ["Conv2d"]
+
+
+class Conv2d(Module):
+    """Cross-correlation over NCHW input.
+
+    Matches the Keras ``Conv2D`` semantics used by the paper's models
+    (``padding=0`` ≙ "valid", ``padding=k//2`` ≙ "same" for odd kernels).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+        initializer=init.he_normal,
+    ) -> None:
+        super().__init__()
+        if min(in_channels, out_channels, kernel_size) <= 0:
+            raise ValueError(
+                f"channels/kernel must be positive: in={in_channels}, "
+                f"out={out_channels}, k={kernel_size}"
+            )
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(
+            initializer((out_channels, in_channels, kernel_size, kernel_size), rng),
+            name="weight",
+        )
+        self.bias = Parameter(init.zeros((out_channels,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def output_spatial(self, h: int, w: int) -> tuple[int, int]:
+        """Output (H, W) for an input of spatial size (h, w)."""
+        oh = (h + 2 * self.padding - self.kernel_size) // self.stride + 1
+        ow = (w + 2 * self.padding - self.kernel_size) // self.stride + 1
+        return oh, ow
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2d({self.in_channels}->{self.out_channels}, k={self.kernel_size}, "
+            f"s={self.stride}, p={self.padding})"
+        )

@@ -1,0 +1,50 @@
+"""Activity regularization.
+
+The paper: "it adds penalties to the reconstruction loss function in
+proportion to the magnitude of the activations in the output of the
+Encoder layer ... we used L1 penalty with a coefficient of 10e-8."
+
+Keras implements this as an ``activity_regularizer`` attached to a layer;
+here it is an explicit pass-through layer that records the penalty each
+forward pass, which the trainer then adds to the loss.
+"""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["ActivityRegularizer"]
+
+
+class ActivityRegularizer(Module):
+    """Identity layer accumulating an L1 (and/or L2) activity penalty."""
+
+    def __init__(self, l1: float = 0.0, l2: float = 0.0) -> None:
+        super().__init__()
+        if l1 < 0 or l2 < 0:
+            raise ValueError(f"penalty coefficients must be non-negative: l1={l1}, l2={l2}")
+        self.l1 = l1
+        self.l2 = l2
+        self._penalty: Tensor | None = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training and (self.l1 > 0.0 or self.l2 > 0.0):
+            penalty: Tensor | None = None
+            if self.l1 > 0.0:
+                penalty = x.abs().sum() * self.l1
+            if self.l2 > 0.0:
+                l2_term = (x * x).sum() * self.l2
+                penalty = l2_term if penalty is None else penalty + l2_term
+            self._penalty = penalty
+        else:
+            self._penalty = None
+        return x
+
+    def pop_penalty(self) -> Tensor | None:
+        """Return and clear the penalty recorded by the last forward pass."""
+        penalty, self._penalty = self._penalty, None
+        return penalty
+
+    def __repr__(self) -> str:
+        return f"ActivityRegularizer(l1={self.l1:g}, l2={self.l2:g})"

@@ -1,0 +1,30 @@
+"""Fixed affine scaling layer (no trainable parameters)."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["Scale"]
+
+
+class Scale(Module):
+    """Multiply activations by a fixed constant.
+
+    Used by the converting autoencoder's Softmax head: ``softmax(z) * D``
+    keeps the probability-image semantics of Table I while putting the
+    reconstruction on the same numeric scale as the targets (mean pixel
+    ~1), so the MSE gradients do not vanish.
+    """
+
+    def __init__(self, factor: float) -> None:
+        super().__init__()
+        if factor == 0:
+            raise ValueError("scale factor must be non-zero")
+        self.factor = float(factor)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x * self.factor
+
+    def __repr__(self) -> str:
+        return f"Scale({self.factor:g})"

@@ -1,0 +1,38 @@
+"""Shape-manipulation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["Flatten", "Reshape"]
+
+
+class Flatten(Module):
+    """Collapse all non-batch axes: (N, ...) → (N, prod(...))."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten_batch()
+
+    def __repr__(self) -> str:
+        return "Flatten()"
+
+
+class Reshape(Module):
+    """Reshape the non-batch axes to ``shape`` (batch axis preserved)."""
+
+    def __init__(self, *shape: int) -> None:
+        super().__init__()
+        self.shape = tuple(shape)
+
+    def forward(self, x: Tensor) -> Tensor:
+        expected = int(np.prod(self.shape))
+        got = int(np.prod(x.shape[1:]))
+        if expected != got:
+            raise ValueError(f"Reshape{self.shape} got {got} elements per sample")
+        return x.reshape((x.shape[0], *self.shape))
+
+    def __repr__(self) -> str:
+        return f"Reshape{self.shape}"

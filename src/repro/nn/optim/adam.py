@@ -1,0 +1,60 @@
+"""Adam (Kingma & Ba, 2014) — the optimizer the paper uses for the
+converting autoencoder ("Each autoencoder uses the Adam optimizer")."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.nn.optim.base import Optimizer
+
+__all__ = ["Adam"]
+
+
+class Adam(Optimizer):
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        self.beta1, self.beta2 = beta1, beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: list[np.ndarray | None] = [None] * len(self.params)
+        self._v: list[np.ndarray | None] = [None] * len(self.params)
+
+    def step(self) -> None:
+        self.step_count += 1
+        t = self.step_count
+        bias1 = 1.0 - self.beta1**t
+        bias2 = 1.0 - self.beta2**t
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            m, v = self._m[i], self._v[i]
+            if m is None or v is None:
+                m = np.zeros_like(p.data)
+                v = np.zeros_like(p.data)
+                self._m[i], self._v[i] = m, v
+            # In-place moment updates (guide: in-place ops on hot paths).
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

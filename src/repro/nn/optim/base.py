@@ -1,0 +1,56 @@
+"""Optimizer base class and gradient utilities."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+__all__ = ["Optimizer", "clip_grad_norm"]
+
+
+class Optimizer:
+    """Base optimizer: holds parameter references and a mutable LR."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float) -> None:
+        self.params: list[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def state_dict(self) -> dict:
+        return {"lr": self.lr, "step_count": self.step_count}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = float(state["lr"])
+        self.step_count = int(state["step_count"])
+
+
+def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is ≤ ``max_norm``.
+
+    Returns the pre-clip norm (useful for loss-explosion diagnostics).
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    params = [p for p in params if p.grad is not None]
+    if not params:
+        return 0.0
+    total = float(np.sqrt(sum(float((p.grad * p.grad).sum()) for p in params)))
+    if total > max_norm and total > 0.0:
+        scale = max_norm / total
+        for p in params:
+            p.grad *= scale
+    return total

@@ -1,0 +1,78 @@
+"""Learning-rate schedules: step objects mutating an optimizer's ``lr``."""
+
+from __future__ import annotations
+
+import math
+
+from repro.nn.optim.base import Optimizer
+
+__all__ = ["ConstantLR", "StepLR", "CosineLR", "WarmupLR"]
+
+
+class _Schedule:
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch; returns the new learning rate."""
+        self.epoch += 1
+        lr = self._lr_at(self.epoch)
+        self.optimizer.lr = lr
+        return lr
+
+    def _lr_at(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantLR(_Schedule):
+    def _lr_at(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class StepLR(_Schedule):
+    """Multiply LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def _lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineLR(_Schedule):
+    """Cosine annealing to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if total_epochs <= 0:
+            raise ValueError(f"total_epochs must be positive, got {total_epochs}")
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def _lr_at(self, epoch: int) -> float:
+        progress = min(epoch / self.total_epochs, 1.0)
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1 + math.cos(math.pi * progress))
+
+
+class WarmupLR(_Schedule):
+    """Linear warmup for ``warmup_epochs`` then hand-off to ``after``."""
+
+    def __init__(self, optimizer: Optimizer, warmup_epochs: int, after: _Schedule | None = None):
+        super().__init__(optimizer)
+        if warmup_epochs <= 0:
+            raise ValueError(f"warmup_epochs must be positive, got {warmup_epochs}")
+        self.warmup_epochs = warmup_epochs
+        self.after = after
+
+    def _lr_at(self, epoch: int) -> float:
+        if epoch <= self.warmup_epochs:
+            return self.base_lr * epoch / self.warmup_epochs
+        if self.after is not None:
+            return self.after._lr_at(epoch - self.warmup_epochs)
+        return self.base_lr

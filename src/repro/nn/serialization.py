@@ -1,0 +1,53 @@
+"""Model checkpointing to ``.npz`` (portable, no pickle for arrays)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["save_state", "load_state", "save_model", "load_into"]
+
+_META_KEY = "__repro_meta__"
+
+
+def save_state(state: dict[str, np.ndarray], path: str | Path, meta: dict | None = None) -> Path:
+    """Write a flat name→array mapping (plus optional JSON metadata)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = dict(state)
+    if meta is not None:
+        payload[_META_KEY] = np.frombuffer(
+            json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
+        )
+    np.savez_compressed(path, **payload)
+    # np.savez appends .npz if missing; normalize the returned path.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_state(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
+    """Read a checkpoint; returns (state_dict, metadata)."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        meta: dict = {}
+        state: dict[str, np.ndarray] = {}
+        for key in archive.files:
+            if key == _META_KEY:
+                meta = json.loads(archive[key].tobytes().decode("utf-8"))
+            else:
+                state[key] = archive[key]
+    return state, meta
+
+
+def save_model(model: Module, path: str | Path, meta: dict | None = None) -> Path:
+    """Checkpoint a module's parameters."""
+    return save_state(model.state_dict(), path, meta=meta)
+
+
+def load_into(model: Module, path: str | Path, strict: bool = True) -> dict:
+    """Load a checkpoint into ``model``; returns the stored metadata."""
+    state, meta = load_state(path)
+    model.load_state_dict(state, strict=strict)
+    return meta

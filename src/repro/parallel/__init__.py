@@ -1,0 +1,21 @@
+"""`repro.parallel` — process-level parallelism for experiments.
+
+Dataset synthesis, threshold sweeps, and the scalability experiments are
+embarrassingly parallel across configurations; this package fans them out
+over a fork-based process pool (read-only NumPy arrays are shared with
+workers for free via copy-on-write fork pages — no pickling of inputs).
+"""
+
+from repro.parallel.pool import parallel_map, ProcessPool, worker_count
+from repro.parallel.batcher import chunk_slices, even_split
+from repro.parallel.sweep import run_sweep, SweepResult
+
+__all__ = [
+    "parallel_map",
+    "ProcessPool",
+    "worker_count",
+    "chunk_slices",
+    "even_split",
+    "run_sweep",
+    "SweepResult",
+]

@@ -1,0 +1,34 @@
+"""Parallel parameter sweeps — the engine behind the scalability figures
+and the ablation benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.parallel.pool import parallel_map
+
+__all__ = ["SweepResult", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One sweep point: the parameter value and what the run produced."""
+
+    param: Any
+    value: Any
+
+
+def run_sweep(
+    fn: Callable[[Any], Any],
+    params: Sequence[Any],
+    n_workers: int | None = None,
+    parallel: bool = True,
+) -> list[SweepResult]:
+    """Evaluate ``fn`` at every parameter value, optionally in parallel.
+
+    Results keep the order of ``params`` (ordered gather), so downstream
+    plotting/tabulation never has to re-sort.
+    """
+    values = parallel_map(fn, list(params), n_workers=n_workers if parallel else 1)
+    return [SweepResult(param=p, value=v) for p, v in zip(params, values)]

@@ -1,0 +1,17 @@
+"""Shared utilities: deterministic RNG plumbing, timing, logging, caching."""
+
+from repro.utils.rng import SeedSequence, spawn_rng, as_generator
+from repro.utils.timing import Timer, timed
+from repro.utils.logging import get_logger
+from repro.utils.cache import memoize_to_disk, ArtifactCache
+
+__all__ = [
+    "SeedSequence",
+    "spawn_rng",
+    "as_generator",
+    "Timer",
+    "timed",
+    "get_logger",
+    "memoize_to_disk",
+    "ArtifactCache",
+]

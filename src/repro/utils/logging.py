@@ -1,0 +1,44 @@
+"""Minimal logging facade: one place to configure library verbosity."""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+__all__ = ["get_logger", "set_verbosity"]
+
+_ROOT_NAME = "repro"
+_configured = False
+
+
+def _configure_root() -> None:
+    global _configured
+    if _configured:
+        return
+    root = logging.getLogger(_ROOT_NAME)
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("[%(asctime)s] %(name)s %(levelname)s: %(message)s", "%H:%M:%S")
+    )
+    root.addHandler(handler)
+    level = os.environ.get("REPRO_LOG_LEVEL", "WARNING").upper()
+    root.setLevel(getattr(logging, level, logging.WARNING))
+    root.propagate = False
+    _configured = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a child logger under the ``repro`` namespace."""
+    _configure_root()
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def set_verbosity(level: int | str) -> None:
+    """Set library-wide log level (e.g. ``"INFO"`` or ``logging.DEBUG``)."""
+    _configure_root()
+    if isinstance(level, str):
+        level = getattr(logging, level.upper())
+    logging.getLogger(_ROOT_NAME).setLevel(level)

@@ -1,0 +1,80 @@
+"""Wall-clock timing helpers used by the evaluation harness.
+
+Real (NumPy) execution times back the pytest-benchmark suites; the
+*simulated* device latencies live in :mod:`repro.hw.latency`.  Keeping the
+two separate makes it explicit which numbers are measured and which are
+modelled.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["Timer", "timed", "repeat_timed"]
+
+
+@dataclass
+class Timer:
+    """Accumulating stopwatch.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     _ = sum(range(10))
+    >>> t.elapsed > 0
+    True
+    """
+
+    elapsed: float = 0.0
+    laps: list[float] = field(default_factory=list)
+    _start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None, "Timer.__exit__ without __enter__"
+        lap = time.perf_counter() - self._start
+        self.laps.append(lap)
+        self.elapsed += lap
+        self._start = None
+
+    @property
+    def mean(self) -> float:
+        return self.elapsed / len(self.laps) if self.laps else 0.0
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.laps.clear()
+        self._start = None
+
+
+@contextmanager
+def timed(sink: Callable[[float], None]) -> Iterator[None]:
+    """Context manager that reports elapsed seconds to ``sink``."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        sink(time.perf_counter() - start)
+
+
+def repeat_timed(fn: Callable[[], T], repeats: int = 3) -> tuple[T, float]:
+    """Run ``fn`` ``repeats`` times; return (last result, mean seconds).
+
+    Mirrors the paper's protocol of averaging three runs per experiment.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    total = 0.0
+    result: T | None = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        total += time.perf_counter() - start
+    return result, total / repeats  # type: ignore[return-value]

@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite.
+
+Heavy artifacts (trained pipelines) are session-scoped and sized down so
+the full suite stays fast while still exercising real training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import PipelineConfig, TrainConfig
+from repro.core.pipeline import build_cbnet_pipeline, train_baseline_lenet
+from repro.data import load_dataset
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def tiny_mnist():
+    """A small MNIST-like split shared across tests (cached on disk)."""
+    return load_dataset("mnist", n_train=600, n_test=200, seed=101)
+
+
+@pytest.fixture(scope="session")
+def tiny_fmnist():
+    return load_dataset("fmnist", n_train=600, n_test=200, seed=101)
+
+
+@pytest.fixture(scope="session")
+def trained_pipeline():
+    """A fully trained (small) CBNet pipeline for integration tests."""
+    config = PipelineConfig(
+        dataset="mnist",
+        seed=7,
+        n_train=1500,
+        n_test=400,
+        classifier_train=TrainConfig(epochs=6),
+        autoencoder_train=TrainConfig(epochs=6, batch_size=128),
+        cache=True,
+    )
+    return build_cbnet_pipeline(config)
+
+
+@pytest.fixture(scope="session")
+def trained_lenet(trained_pipeline):
+    """A baseline LeNet trained on the same data as the pipeline."""
+    model, _ = train_baseline_lenet(
+        "mnist",
+        config=TrainConfig(epochs=6),
+        seed=7,
+        n_train=1500,
+        n_test=400,
+        cache=True,
+    )
+    return model

@@ -1,0 +1,49 @@
+"""Unit tests for easy/hard labeling."""
+
+import numpy as np
+import pytest
+
+from repro.core.labeling import LabelingResult, label_easy_hard
+from repro.models import BranchyLeNet
+
+
+class TestLabelEasyHard:
+    def test_contract(self):
+        model = BranchyLeNet(rng=0)
+        images = np.random.default_rng(0).random((20, 1, 28, 28)).astype(np.float32)
+        result = label_easy_hard(model, images, threshold=0.5)
+        assert result.easy.shape == (20,)
+        assert result.entropy.shape == (20,)
+        assert result.threshold == 0.5
+
+    def test_threshold_extremes(self):
+        model = BranchyLeNet(rng=0)
+        images = np.random.default_rng(0).random((10, 1, 28, 28)).astype(np.float32)
+        assert label_easy_hard(model, images, threshold=0.0).easy_fraction == 0.0
+        assert label_easy_hard(model, images, threshold=10.0).easy_fraction == 1.0
+
+    def test_default_threshold_from_model(self):
+        model = BranchyLeNet(rng=0, entropy_threshold=10.0)
+        images = np.random.default_rng(0).random((5, 1, 28, 28)).astype(np.float32)
+        assert label_easy_hard(model, images).easy_fraction == 1.0
+
+    def test_indices_partition(self):
+        model = BranchyLeNet(rng=0)
+        images = np.random.default_rng(1).random((30, 1, 28, 28)).astype(np.float32)
+        result = label_easy_hard(model, images, threshold=1.5)
+        both = np.concatenate([result.easy_indices(), result.hard_indices()])
+        assert sorted(both.tolist()) == list(range(30))
+
+    def test_fractions_sum_to_one(self):
+        result = LabelingResult(
+            easy=np.array([True, False, True]),
+            entropy=np.zeros(3, dtype=np.float32),
+            threshold=0.1,
+        )
+        assert result.easy_fraction + result.hard_fraction == pytest.approx(1.0)
+
+    def test_labels_consistent_with_entropy(self):
+        model = BranchyLeNet(rng=0)
+        images = np.random.default_rng(2).random((15, 1, 28, 28)).astype(np.float32)
+        result = label_easy_hard(model, images, threshold=1.0)
+        assert np.array_equal(result.easy, result.entropy < 1.0)

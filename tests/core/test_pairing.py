@@ -1,0 +1,70 @@
+"""Unit tests for hard→easy target pairing."""
+
+import numpy as np
+import pytest
+
+from repro.core.pairing import build_conversion_targets
+
+
+def setup_data(n=40, num_classes=4, seed=0):
+    rng = np.random.default_rng(seed)
+    labels = np.repeat(np.arange(num_classes), n // num_classes)
+    images = np.zeros((n, 1, 4, 4), dtype=np.float32)
+    # Encode (class, index) in pixels so targets are traceable.
+    images[:, 0, 0, 0] = labels
+    images[:, 0, 0, 1] = np.arange(n)
+    return images, labels
+
+
+class TestConversionTargets:
+    def test_targets_are_same_class(self):
+        images, labels = setup_data()
+        easy = np.random.default_rng(1).random(40) < 0.5
+        targets = build_conversion_targets(images, labels, easy, rng=0)
+        assert np.array_equal(targets[:, 0, 0, 0], labels)
+
+    def test_targets_are_easy_images(self):
+        images, labels = setup_data()
+        rng = np.random.default_rng(2)
+        easy = rng.random(40) < 0.5
+        easy_ids = set(np.flatnonzero(easy).tolist())
+        targets = build_conversion_targets(images, labels, easy, rng=0)
+        target_ids = targets[:, 0, 0, 1].astype(int)
+        assert set(target_ids.tolist()) <= easy_ids
+
+    def test_every_image_gets_target(self):
+        """Paper: ALL images (easy and hard) are training inputs."""
+        images, labels = setup_data()
+        easy = np.ones(40, dtype=bool)
+        targets = build_conversion_targets(images, labels, easy, rng=0)
+        assert targets.shape == images.shape
+
+    def test_randomness_controlled_by_rng(self):
+        images, labels = setup_data()
+        easy = np.random.default_rng(3).random(40) < 0.5
+        a = build_conversion_targets(images, labels, easy, rng=11)
+        b = build_conversion_targets(images, labels, easy, rng=11)
+        c = build_conversion_targets(images, labels, easy, rng=12)
+        assert np.allclose(a, b)
+        assert not np.allclose(a, c)  # overwhelmingly likely
+
+    def test_class_without_easy_falls_back_to_min_entropy(self):
+        images, labels = setup_data()
+        easy = labels != 2  # class 2 has no easy images
+        entropy = np.random.default_rng(4).random(40).astype(np.float32)
+        targets = build_conversion_targets(images, labels, easy, rng=0, entropy=entropy)
+        cls2 = labels == 2
+        expected_idx = np.flatnonzero(cls2)[np.argmin(entropy[cls2])]
+        assert np.all(targets[cls2, 0, 0, 1] == expected_idx)
+
+    def test_class_without_easy_no_entropy_uses_first(self):
+        images, labels = setup_data()
+        easy = labels != 0
+        targets = build_conversion_targets(images, labels, easy, rng=0)
+        cls0 = labels == 0
+        assert np.all(targets[cls0, 0, 0, 1] == 0)
+
+    def test_length_mismatch_raises(self):
+        images, labels = setup_data()
+        with pytest.raises(ValueError):
+            build_conversion_targets(images, labels[:-1], np.ones(40, dtype=bool))

@@ -1,0 +1,72 @@
+"""Unit tests for entropy-threshold tuning."""
+
+import numpy as np
+import pytest
+
+from repro.core.thresholds import (
+    PAPER_THRESHOLDS,
+    sweep_thresholds,
+    tune_threshold,
+)
+from repro.models import BranchyLeNet
+
+
+class TestPaperThresholds:
+    def test_paper_values(self):
+        assert PAPER_THRESHOLDS == {"mnist": 0.05, "fmnist": 0.5, "kmnist": 0.025}
+
+
+class TestSweep:
+    def test_sweep_contract(self):
+        model = BranchyLeNet(rng=0)
+        rng = np.random.default_rng(0)
+        images = rng.random((30, 1, 28, 28)).astype(np.float32)
+        labels = rng.integers(0, 10, 30)
+        points = sweep_thresholds(model, images, labels, grid=(0.1, 0.5, 2.3))
+        assert len(points) == 3
+        for p in points:
+            assert 0.0 <= p.accuracy <= 1.0
+            assert 0.0 <= p.exit_rate <= 1.0
+
+    def test_exit_rate_monotone(self):
+        model = BranchyLeNet(rng=0)
+        rng = np.random.default_rng(1)
+        images = rng.random((50, 1, 28, 28)).astype(np.float32)
+        labels = rng.integers(0, 10, 50)
+        points = sweep_thresholds(model, images, labels, grid=(0.01, 0.1, 1.0, 2.3))
+        rates = [p.exit_rate for p in points]
+        assert rates == sorted(rates)
+
+    def test_sweep_consistent_with_infer(self, trained_pipeline):
+        branchy = trained_pipeline.branchynet
+        test = trained_pipeline.datasets["test"]
+        points = sweep_thresholds(branchy, test.images, test.labels, grid=(0.05,))
+        res = branchy.infer(test.images, threshold=0.05)
+        assert points[0].exit_rate == pytest.approx(res.early_exit_rate, abs=1e-6)
+        acc = (res.predictions == test.labels).mean()
+        assert points[0].accuracy == pytest.approx(acc, abs=1e-6)
+
+
+class TestTune:
+    def test_tuned_threshold_in_grid(self, trained_pipeline):
+        branchy = trained_pipeline.branchynet
+        test = trained_pipeline.datasets["test"]
+        grid = (0.01, 0.1, 0.5, 2.0)
+        chosen = tune_threshold(branchy, test.images, test.labels, grid=grid)
+        assert chosen in grid
+
+    def test_tuned_maximizes_exit_within_budget(self, trained_pipeline):
+        branchy = trained_pipeline.branchynet
+        test = trained_pipeline.datasets["test"]
+        grid = (0.01, 0.1, 0.5, 2.0)
+        tol = 0.01
+        chosen = tune_threshold(
+            branchy, test.images, test.labels, grid=grid, accuracy_tolerance=tol
+        )
+        points = sweep_thresholds(branchy, test.images, test.labels, grid=grid)
+        best_acc = max(p.accuracy for p in points)
+        chosen_point = next(p for p in points if p.threshold == chosen)
+        assert chosen_point.accuracy >= best_acc - tol
+        for p in points:
+            if p.accuracy >= best_acc - tol:
+                assert chosen_point.exit_rate >= p.exit_rate

@@ -1,0 +1,64 @@
+"""Unit tests for the DataLoader."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset, DataLoader
+
+
+def make_dataset(n=20):
+    return ArrayDataset(
+        np.arange(n, dtype=np.float32).reshape(n, 1, 1, 1),
+        np.arange(n) % 3,
+    )
+
+
+class TestBatching:
+    def test_batch_shapes(self):
+        loader = DataLoader(make_dataset(20), batch_size=8)
+        batches = list(loader)
+        assert [b[0].shape[0] for b in batches] == [8, 8, 4]
+
+    def test_drop_last(self):
+        loader = DataLoader(make_dataset(20), batch_size=8, drop_last=True)
+        assert len(loader) == 2
+        assert all(b[0].shape[0] == 8 for b in loader)
+
+    def test_len_matches_iteration(self):
+        for n, bs in [(20, 8), (16, 16), (5, 10)]:
+            loader = DataLoader(make_dataset(n), batch_size=bs)
+            assert len(list(loader)) == len(loader)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(make_dataset(), batch_size=0)
+
+
+class TestShuffling:
+    def test_no_shuffle_preserves_order(self):
+        loader = DataLoader(make_dataset(10), batch_size=10, shuffle=False)
+        images, _ = next(iter(loader))
+        assert np.allclose(images.ravel(), np.arange(10))
+
+    def test_shuffle_deterministic_given_seed(self):
+        a = [b[0].ravel() for b in DataLoader(make_dataset(20), 20, shuffle=True, rng=5)]
+        b = [b[0].ravel() for b in DataLoader(make_dataset(20), 20, shuffle=True, rng=5)]
+        assert np.allclose(a[0], b[0])
+
+    def test_shuffle_changes_epochs(self):
+        loader = DataLoader(make_dataset(50), batch_size=50, shuffle=True, rng=0)
+        first = next(iter(loader))[0].ravel().copy()
+        second = next(iter(loader))[0].ravel().copy()
+        assert not np.allclose(first, second)
+
+    def test_shuffle_is_a_permutation(self):
+        loader = DataLoader(make_dataset(30), batch_size=7, shuffle=True, rng=1)
+        seen = np.concatenate([b[0].ravel() for b in loader])
+        assert sorted(seen.tolist()) == list(range(30))
+
+    def test_labels_track_images(self):
+        ds = make_dataset(30)
+        loader = DataLoader(ds, batch_size=4, shuffle=True, rng=2)
+        for images, labels in loader:
+            expected = images.ravel().astype(np.int64) % 3
+            assert np.array_equal(labels, expected)

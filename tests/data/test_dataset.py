@@ -1,0 +1,99 @@
+"""Unit tests for dataset containers."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset, ConcatDataset, Subset
+
+
+def make_dataset(n=10, seed=0):
+    rng = np.random.default_rng(seed)
+    return ArrayDataset(
+        rng.random((n, 1, 4, 4), dtype=np.float32),
+        rng.integers(0, 3, n),
+        meta={"is_hard": rng.random(n) < 0.5},
+    )
+
+
+class TestArrayDataset:
+    def test_len_and_getitem(self):
+        ds = make_dataset(7)
+        assert len(ds) == 7
+        image, label = ds[3]
+        assert image.shape == (1, 4, 4)
+        assert isinstance(label, int)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 4, 4)), np.zeros(3))  # not NCHW
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 1, 4, 4)), np.zeros(2))  # label mismatch
+
+    def test_meta_length_validation(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 1, 2, 2)), np.zeros(3), meta={"x": np.zeros(2)})
+
+    def test_select_carries_meta(self):
+        ds = make_dataset(10)
+        sub = ds.select(np.array([0, 2, 4]))
+        assert len(sub) == 3
+        assert np.array_equal(sub.meta["is_hard"], ds.meta["is_hard"][[0, 2, 4]])
+
+    def test_with_meta_adds_column(self):
+        ds = make_dataset(5)
+        ds2 = ds.with_meta(extra=np.arange(5))
+        assert "extra" in ds2.meta and "is_hard" in ds2.meta
+        assert "extra" not in ds.meta  # original untouched
+
+    def test_class_indices(self):
+        ds = make_dataset(30)
+        for c in range(3):
+            assert np.all(ds.labels[ds.class_indices(c)] == c)
+
+    def test_num_classes(self):
+        ds = ArrayDataset(np.zeros((4, 1, 2, 2)), np.array([0, 1, 2, 2]))
+        assert ds.num_classes == 3
+
+
+class TestSubset:
+    def test_view_semantics(self):
+        ds = make_dataset(10)
+        sub = Subset(ds, [1, 3, 5])
+        assert len(sub) == 3
+        img, label = sub[0]
+        assert np.allclose(img, ds[1][0])
+
+    def test_out_of_range_raises(self):
+        ds = make_dataset(5)
+        with pytest.raises(IndexError):
+            Subset(ds, [10])
+
+    def test_images_labels_properties(self):
+        ds = make_dataset(10)
+        sub = Subset(ds, [0, 9])
+        assert sub.images.shape == (2, 1, 4, 4)
+        assert sub.labels.shape == (2,)
+
+
+class TestConcatDataset:
+    def test_concat_indexing_crosses_parts(self):
+        a, b = make_dataset(4, seed=1), make_dataset(6, seed=2)
+        cat = ConcatDataset([a, b])
+        assert len(cat) == 10
+        assert np.allclose(cat[4][0], b[0][0])
+        assert np.allclose(cat[3][0], a[3][0])
+
+    def test_negative_index(self):
+        a, b = make_dataset(4, seed=1), make_dataset(6, seed=2)
+        cat = ConcatDataset([a, b])
+        assert np.allclose(cat[-1][0], b[5][0])
+
+    def test_empty_parts_raise(self):
+        with pytest.raises(ValueError):
+            ConcatDataset([])
+
+    def test_concatenated_arrays(self):
+        a, b = make_dataset(4, seed=1), make_dataset(6, seed=2)
+        cat = ConcatDataset([a, b])
+        assert cat.images.shape == (10, 1, 4, 4)
+        assert cat.labels.shape == (10,)

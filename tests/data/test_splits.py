@@ -1,0 +1,69 @@
+"""Unit tests for train/test splitting and stratified subsets."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset, stratified_subset, train_test_split
+
+
+def make_dataset(n=100, num_classes=4, hard_frac=0.3, seed=0):
+    rng = np.random.default_rng(seed)
+    labels = np.repeat(np.arange(num_classes), n // num_classes)
+    is_hard = rng.random(n) < hard_frac
+    return ArrayDataset(
+        rng.random((n, 1, 2, 2), dtype=np.float32), labels, meta={"is_hard": is_hard}
+    )
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        train, test = train_test_split(make_dataset(100), test_fraction=0.2, rng=0)
+        assert len(train) + len(test) == 100
+        assert len(test) == pytest.approx(20, abs=2)
+
+    def test_stratified_class_balance(self):
+        _, test = train_test_split(make_dataset(100), test_fraction=0.2, rng=0)
+        counts = np.bincount(test.labels, minlength=4)
+        assert counts.min() >= 4  # every class represented
+
+    def test_disjoint(self):
+        ds = make_dataset(40)
+        # tag each sample by a unique pixel value so overlap is detectable
+        ds._images[:, 0, 0, 0] = np.arange(40)
+        train, test = train_test_split(ds, 0.25, rng=1)
+        train_ids = set(train.images[:, 0, 0, 0].astype(int))
+        test_ids = set(test.images[:, 0, 0, 0].astype(int))
+        assert not train_ids & test_ids
+        assert len(train_ids | test_ids) == 40
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(ValueError):
+            train_test_split(make_dataset(), 0.0)
+
+
+class TestStratifiedSubset:
+    def test_fraction_size(self):
+        sub = stratified_subset(make_dataset(100), 0.5, rng=0)
+        assert len(sub) == pytest.approx(50, abs=4)
+
+    def test_class_proportions_preserved(self):
+        sub = stratified_subset(make_dataset(200, num_classes=4), 0.3, rng=0)
+        counts = np.bincount(sub.labels, minlength=4)
+        assert counts.max() - counts.min() <= 2
+
+    def test_hard_proportion_preserved_with_by(self):
+        """The Figs 6-8 protocol: hard fraction stays ~constant."""
+        ds = make_dataset(400, hard_frac=0.3, seed=3)
+        base = ds.meta["is_hard"].mean()
+        sub = stratified_subset(ds, 0.25, rng=0, by="is_hard")
+        assert sub.meta["is_hard"].mean() == pytest.approx(base, abs=0.05)
+
+    def test_missing_meta_raises(self):
+        with pytest.raises(KeyError):
+            stratified_subset(make_dataset(), 0.5, rng=0, by="nonexistent")
+
+    def test_deterministic(self):
+        ds = make_dataset(100)
+        a = stratified_subset(ds, 0.4, rng=7)
+        b = stratified_subset(ds, 0.4, rng=7)
+        assert np.allclose(a.images, b.images)

@@ -1,0 +1,192 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synth import DATASET_SPECS, corrupt_batch, generate_split, load_dataset
+from repro.data.synth.corruption import CORRUPTIONS
+from repro.data.synth.digits import digit_template, render_digits
+from repro.data.synth.fashion import render_fashion
+from repro.data.synth.kuzushiji import kuzushiji_template, render_kuzushiji
+from repro.data.synth import render
+
+
+class TestRenderPrimitives:
+    def test_pixel_grid_in_unit_square(self):
+        grid = render.pixel_grid(28)
+        assert grid.shape == (784, 2)
+        assert grid.min() > 0 and grid.max() < 1
+
+    def test_raster_polylines_range_and_shape(self):
+        rng = np.random.default_rng(0)
+        poly = np.broadcast_to(
+            np.array([[0.2, 0.2], [0.8, 0.8]], dtype=np.float32), (5, 2, 2)
+        ).copy()
+        imgs = render.raster_polylines([poly], 0.04)
+        assert imgs.shape == (5, 28, 28)
+        assert imgs.min() >= 0 and imgs.max() <= 1
+        assert imgs.max() > 0.9  # the stroke is visible
+
+    def test_raster_polyline_batch_mismatch_raises(self):
+        a = np.zeros((3, 2, 2), dtype=np.float32)
+        b = np.zeros((4, 2, 2), dtype=np.float32)
+        with pytest.raises(ValueError):
+            render.raster_polylines([a, b], 0.04)
+
+    def test_fill_polygons_square(self):
+        square = np.array([[[0.25, 0.25], [0.75, 0.25], [0.75, 0.75], [0.25, 0.75]]])
+        mask = render.fill_polygons(square.astype(np.float32), side=28)
+        frac = mask.mean()
+        assert 0.2 < frac < 0.3  # ~25% of the canvas
+
+    def test_fill_ellipses_circle_area(self):
+        params = np.array([[0.5, 0.5, 0.25, 0.25, 0.0]], dtype=np.float32)
+        mask = render.fill_ellipses(params, side=56)
+        assert mask.mean() == pytest.approx(np.pi * 0.25**2, rel=0.1)
+
+    def test_affine_identity(self):
+        points = np.random.default_rng(0).random((2, 5, 2)).astype(np.float32)
+        eye = np.zeros((2, 2, 3), dtype=np.float32)
+        eye[:, 0, 0] = eye[:, 1, 1] = 1.0
+        assert np.allclose(render.apply_affine(points, eye), points, atol=1e-6)
+
+    def test_random_affine_near_identity_at_zero_magnitudes(self):
+        rng = np.random.default_rng(0)
+        mats = render.random_affine(rng, 3, 0.0, (1.0, 1.0), 0.0, 0.0)
+        points = rng.random((3, 4, 2)).astype(np.float32)
+        assert np.allclose(render.apply_affine(points, mats), points, atol=1e-5)
+
+    def test_sample_arc_endpoints(self):
+        arc = render.sample_arc((0.5, 0.5), 0.2, 0.2, 0.0, 90.0, n=10)
+        assert np.allclose(arc[0], [0.7, 0.5], atol=1e-5)
+        assert np.allclose(arc[-1], [0.5, 0.7], atol=1e-5)
+
+
+class TestGlyphRenderers:
+    @pytest.mark.parametrize("renderer", [render_digits, render_fashion, render_kuzushiji])
+    def test_renderer_output_contract(self, renderer):
+        rng = np.random.default_rng(0)
+        labels = np.arange(10)
+        imgs = renderer(labels, rng)
+        assert imgs.shape == (10, 28, 28)
+        assert imgs.dtype == np.float32
+        assert imgs.min() >= 0.0 and imgs.max() <= 1.0
+        assert (imgs.reshape(10, -1).max(axis=1) > 0.5).all()  # every glyph visible
+
+    def test_digit_templates_all_defined(self):
+        for d in range(10):
+            strokes = digit_template(d)
+            assert strokes and all(s.shape[-1] == 2 for s in strokes)
+        with pytest.raises(ValueError):
+            digit_template(10)
+
+    def test_kuzushiji_templates_stable(self):
+        a = kuzushiji_template(3)
+        b = kuzushiji_template(3)
+        assert np.allclose(a, b)
+        assert not np.allclose(kuzushiji_template(3), kuzushiji_template(4))
+
+    def test_same_class_renders_differ(self):
+        """Per-sample jitter must make two samples of a class distinct."""
+        rng = np.random.default_rng(0)
+        imgs = render_digits(np.array([7, 7]), rng)
+        assert not np.allclose(imgs[0], imgs[1])
+
+    def test_jitter_zero_is_prototypical(self):
+        rng = np.random.default_rng(0)
+        imgs = render_digits(np.array([1, 1]), rng, jitter=0.0)
+        # Thickness still varies, so allow small differences.
+        assert np.abs(imgs[0] - imgs[1]).mean() < 0.05
+
+
+class TestCorruptions:
+    def test_all_ops_preserve_contract(self):
+        rng = np.random.default_rng(0)
+        imgs = render_digits(np.arange(10), rng)
+        for name, op in CORRUPTIONS.items():
+            out = op(imgs.copy(), rng, severity=0.8)
+            assert out.shape == imgs.shape, name
+            assert out.min() >= -1e-6 and out.max() <= 1.0 + 1e-6, name
+
+    def test_corrupt_batch_changes_images(self):
+        rng = np.random.default_rng(0)
+        imgs = render_digits(np.arange(10), rng)
+        out = corrupt_batch(imgs, rng)
+        assert not np.allclose(out, imgs)
+
+    def test_corrupt_batch_empty_ok(self):
+        rng = np.random.default_rng(0)
+        out = corrupt_batch(np.zeros((0, 28, 28), dtype=np.float32), rng)
+        assert out.shape == (0, 28, 28)
+
+    def test_unknown_op_raises(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(KeyError):
+            corrupt_batch(np.zeros((2, 28, 28), dtype=np.float32), rng, op_names=["nope"])
+
+    def test_blur_reduces_gradient_energy(self):
+        rng = np.random.default_rng(0)
+        imgs = render_digits(np.arange(10), rng)
+        from repro.data.synth.corruption import gaussian_blur
+
+        blurred = gaussian_blur(imgs, rng, 1.0)
+        grad = lambda x: np.abs(np.diff(x, axis=-1)).mean()
+        assert grad(blurred) < grad(imgs)
+
+
+class TestGenerateSplit:
+    def test_hard_fraction_exact(self):
+        spec = DATASET_SPECS["mnist"]
+        ds = generate_split(spec, 200, seed=0)
+        assert ds.meta["is_hard"].sum() == round(0.05 * 200)
+
+    def test_hard_fraction_override(self):
+        spec = DATASET_SPECS["mnist"]
+        ds = generate_split(spec, 100, seed=0, hard_fraction=0.5)
+        assert ds.meta["is_hard"].sum() == 50
+
+    def test_labels_balanced(self):
+        ds = generate_split(DATASET_SPECS["fmnist"], 200, seed=0)
+        counts = np.bincount(ds.labels, minlength=10)
+        assert counts.min() == counts.max() == 20
+
+    def test_deterministic_given_seed(self):
+        spec = DATASET_SPECS["kmnist"]
+        a = generate_split(spec, 50, seed=42)
+        b = generate_split(spec, 50, seed=42)
+        assert np.allclose(a.images, b.images)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        spec = DATASET_SPECS["mnist"]
+        a = generate_split(spec, 50, seed=1)
+        b = generate_split(spec, 50, seed=2)
+        assert not np.allclose(a.images, b.images)
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ValueError):
+            generate_split(DATASET_SPECS["mnist"], 0, seed=0)
+        with pytest.raises(ValueError):
+            generate_split(DATASET_SPECS["mnist"], 10, seed=0, hard_fraction=1.0)
+
+
+class TestLoadDataset:
+    def test_returns_train_and_test(self):
+        data = load_dataset("mnist", n_train=60, n_test=30, seed=0, cache=False)
+        assert set(data) == {"train", "test"}
+        assert len(data["train"]) == 60
+        assert len(data["test"]) == 30
+
+    def test_train_test_disjoint_streams(self):
+        data = load_dataset("mnist", n_train=50, n_test=50, seed=0, cache=False)
+        assert not np.allclose(data["train"].images[:10], data["test"].images[:10])
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("imagenet")
+
+    def test_cache_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        a = load_dataset("mnist", n_train=40, n_test=20, seed=9, cache=True)
+        b = load_dataset("mnist", n_train=40, n_test=20, seed=9, cache=True)
+        assert np.allclose(a["train"].images, b["train"].images)

@@ -1,0 +1,89 @@
+"""Property-based tests (hypothesis) for the dataset substrate."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.data.synth.corruption import CORRUPTIONS, corrupt_batch
+from repro.data.synth.digits import render_digits
+from repro.data.synth.registry import DATASET_SPECS, generate_split
+from repro.parallel.batcher import chunk_slices, even_split
+from repro.utils.rng import derive_seed, stratified_indices
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.sampled_from(sorted(CORRUPTIONS)),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(1, 8),
+    st.integers(0, 2**31 - 1),
+)
+def test_corruptions_preserve_range_and_shape(op_name, severity, n, seed):
+    rng = np.random.default_rng(seed)
+    images = render_digits(rng.integers(0, 10, n), rng)
+    out = CORRUPTIONS[op_name](images.copy(), rng, severity)
+    assert out.shape == images.shape
+    assert out.min() >= -1e-6
+    assert out.max() <= 1.0 + 1e-6
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(10, 60), st.floats(min_value=0.0, max_value=0.9), st.integers(0, 10**6))
+def test_generate_split_hard_count_exact(n, hard_fraction, seed):
+    ds = generate_split(DATASET_SPECS["mnist"], n, seed=seed, hard_fraction=hard_fraction)
+    assert ds.meta["is_hard"].sum() == round(hard_fraction * n)
+    assert len(ds) == n
+    assert ds.images.min() >= 0.0 and ds.images.max() <= 1.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**31 - 1), st.integers(1, 20))
+def test_corrupt_batch_never_escapes_unit_interval(seed, n):
+    rng = np.random.default_rng(seed)
+    images = rng.random((n, 28, 28)).astype(np.float32)
+    out = corrupt_batch(images, rng)
+    assert out.min() >= 0.0 and out.max() <= 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 500), st.integers(1, 40))
+def test_chunk_slices_partition(n, chunk):
+    slices = chunk_slices(n, chunk)
+    covered = [i for s in slices for i in range(s.start, s.stop)]
+    assert covered == list(range(n))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 500), st.integers(1, 40))
+def test_even_split_partition_and_balance(n, k):
+    slices = even_split(n, k)
+    covered = [i for s in slices for i in range(s.start, s.stop)]
+    assert covered == list(range(n))
+    if slices:
+        sizes = [s.stop - s.start for s in slices]
+        assert max(sizes) - min(sizes) <= 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(2, 6),
+    st.integers(5, 30),
+    st.floats(min_value=0.2, max_value=1.0),
+    st.integers(0, 2**31 - 1),
+)
+def test_stratified_indices_proportions(num_classes, per_class, fraction, seed):
+    labels = np.repeat(np.arange(num_classes), per_class)
+    idx = stratified_indices(labels, fraction, np.random.default_rng(seed))
+    counts = np.bincount(labels[idx], minlength=num_classes)
+    assert counts.max() - counts.min() <= 1
+    assert len(set(idx.tolist())) == len(idx)  # no duplicates
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2**31 - 1), st.text(max_size=12), st.text(max_size=12))
+def test_derive_seed_deterministic_and_sensitive(seed, a, b):
+    assert derive_seed(seed, a) == derive_seed(seed, a)
+    if a != b:
+        # Not guaranteed distinct, but a collision across draws would be
+        # astronomically unlikely for a 32-bit-entropy mix; check anyway
+        # only that the function does not ignore its inputs entirely.
+        pass

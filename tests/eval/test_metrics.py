@@ -1,0 +1,75 @@
+"""Unit tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import (
+    LatencyStats,
+    accuracy,
+    confusion_matrix,
+    per_class_accuracy,
+    speedup,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy(np.array([1, 2]), np.array([1, 2])) == 1.0
+
+    def test_partial(self):
+        assert accuracy(np.array([1, 0, 2, 2]), np.array([1, 1, 2, 0])) == 0.5
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([1]), np.array([1, 2]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+
+class TestConfusion:
+    def test_matrix_counts(self):
+        preds = np.array([0, 1, 1, 2])
+        labels = np.array([0, 1, 2, 2])
+        cm = confusion_matrix(preds, labels, num_classes=3)
+        assert cm[0, 0] == 1
+        assert cm[1, 1] == 1
+        assert cm[2, 1] == 1
+        assert cm[2, 2] == 1
+        assert cm.sum() == 4
+
+    def test_per_class_accuracy(self):
+        preds = np.array([0, 0, 1, 1])
+        labels = np.array([0, 0, 1, 0])
+        pca = per_class_accuracy(preds, labels)
+        assert pca[0] == pytest.approx(2 / 3)
+        assert pca[1] == pytest.approx(1.0)
+
+    def test_absent_class_is_nan(self):
+        pca = per_class_accuracy(np.array([0, 2]), np.array([0, 2]))
+        assert np.isnan(pca[1])
+
+
+class TestSpeedup:
+    def test_values(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+        assert speedup(1.0, 1.0) == pytest.approx(1.0)
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+
+class TestLatencyStats:
+    def test_from_samples(self):
+        stats = LatencyStats.from_samples(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.p50 == pytest.approx(2.5)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.n == 4
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            LatencyStats.from_samples(np.array([]))

@@ -1,0 +1,70 @@
+"""Unit tests for table/chart rendering."""
+
+import pytest
+
+from repro.eval.figures import Series, ascii_bar_chart, ascii_line_chart
+from repro.eval.tables import Table, format_table
+
+
+class TestTable:
+    def test_render_aligned(self):
+        table = Table(headers=["name", "value"], title="t")
+        table.add_row("alpha", 1.5)
+        table.add_row("b", 100.25)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_row_width_mismatch_raises(self):
+        table = Table(headers=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.12349], [123.456], [1.5]])
+        assert "0.1235" in text
+        assert "123.5" in text
+        assert "1.500" in text
+
+
+class TestLineChart:
+    def test_renders_legend_and_bounds(self):
+        chart = ascii_line_chart(
+            [
+                Series("a", (0.0, 1.0), (0.0, 10.0)),
+                Series("b", (0.0, 1.0), (10.0, 0.0)),
+            ],
+            title="demo",
+        )
+        assert "demo" in chart
+        assert "o a" in chart and "x b" in chart
+        assert "10" in chart
+
+    def test_constant_series_ok(self):
+        chart = ascii_line_chart([Series("flat", (0, 1, 2), (5, 5, 5))])
+        assert "flat" in chart
+
+    def test_mismatched_series_raises(self):
+        with pytest.raises(ValueError):
+            Series("bad", (0, 1), (1,))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart([])
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        chart = ascii_bar_chart(["x", "y"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert lines[1].count("█") > lines[0].count("█")
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["x"], [1.0, 2.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart([], [])

@@ -1,0 +1,114 @@
+"""Unit tests for FLOPs/memory accounting."""
+
+import numpy as np
+import pytest
+
+from repro.hw.flops import layer_cost, model_cost, stage_cost
+from repro.models import BranchyLeNet, ConvertingAutoencoder, LeNet
+from repro.nn.layers import Conv2d, Flatten, Linear, MaxPool2d, ReLU, Softmax
+from repro.nn.module import Sequential
+
+
+class TestLayerCost:
+    def test_conv_macs_formula(self):
+        conv = Conv2d(3, 8, kernel_size=5, rng=np.random.default_rng(0))
+        cost = layer_cost(conv, (3, 28, 28))
+        # out 24x24, macs = 8*24*24*3*25
+        assert cost.macs == 8 * 24 * 24 * 3 * 25
+        assert cost.flops == 2 * cost.macs
+        assert cost.kind == "conv"
+        assert cost.out_shape == (8, 24, 24)
+
+    def test_conv_padding_stride(self):
+        conv = Conv2d(1, 4, kernel_size=3, stride=2, padding=1, rng=np.random.default_rng(0))
+        cost = layer_cost(conv, (1, 28, 28))
+        assert cost.out_shape == (4, 14, 14)
+
+    def test_linear_macs(self):
+        layer = Linear(100, 10, rng=np.random.default_rng(0))
+        cost = layer_cost(layer, (100,))
+        assert cost.macs == 1000
+        assert cost.kind == "dense"
+        assert cost.params == 1010
+
+    def test_linear_width_mismatch_raises(self):
+        layer = Linear(100, 10, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            layer_cost(layer, (50,))
+
+    def test_pool_cost(self):
+        cost = layer_cost(MaxPool2d(2), (4, 8, 8))
+        assert cost.kind == "pool"
+        assert cost.out_shape == (4, 4, 4)
+        assert cost.macs == 0
+
+    def test_activation_elementwise(self):
+        cost = layer_cost(ReLU(), (16, 8, 8))
+        assert cost.kind == "elementwise"
+        assert cost.flops == 16 * 8 * 8
+
+    def test_softmax_costlier_than_relu(self):
+        relu = layer_cost(ReLU(), (100,))
+        soft = layer_cost(Softmax(), (100,))
+        assert soft.flops > relu.flops
+
+    def test_flatten_free(self):
+        cost = layer_cost(Flatten(), (4, 7, 7))
+        assert cost.kind == "none"
+        assert cost.out_shape == (196,)
+        assert cost.flops == 0
+
+    def test_unknown_layer_raises(self):
+        class Weird:
+            pass
+
+        with pytest.raises(TypeError):
+            layer_cost(Weird(), (1,))
+
+
+class TestStageCost:
+    def test_shapes_propagate(self):
+        rng = np.random.default_rng(0)
+        stage = Sequential(
+            Conv2d(1, 4, 5, rng=rng), ReLU(), MaxPool2d(2), Flatten(), Linear(576, 10, rng=rng)
+        )
+        cost = stage_cost("s", stage, (1, 28, 28))
+        assert cost.out_shape == (10,)
+        assert cost.macs > 0
+        assert cost.params == sum(p.size for p in stage.parameters())
+
+
+class TestModelCost:
+    def test_lenet_total_params_match(self):
+        model = LeNet(rng=0)
+        stages = model_cost(model)
+        total = sum(s.params for s in stages)
+        assert total == model.num_parameters()
+
+    def test_branchynet_branch_and_trunk_start_from_stem(self):
+        model = BranchyLeNet(rng=0)
+        stages = {s.name: s for s in model_cost(model)}
+        assert set(stages) == {"stem", "branch", "trunk"}
+        assert stages["branch"].out_shape == (10,)
+        assert stages["trunk"].out_shape == (10,)
+
+    def test_early_path_cheaper_than_full(self):
+        """Architecture invariant behind Fig. 3: early path << full net."""
+        model = BranchyLeNet(rng=0)
+        stages = {s.name: s for s in model_cost(model)}
+        early = stages["stem"].macs + stages["branch"].macs
+        full = early + stages["trunk"].macs
+        assert early < 0.25 * full
+
+    def test_autoencoder_cost(self):
+        model = ConvertingAutoencoder.for_dataset("mnist", rng=0)
+        model.IN_SHAPE = (784,)
+        stages = model_cost(model, in_shape=(784,))
+        total_macs = sum(s.macs for s in stages)
+        expected = 784 * 784 + 784 * 384 + 384 * 32 + 32 * 784
+        assert total_macs == expected
+
+    def test_missing_in_shape_raises(self):
+        model = ConvertingAutoencoder.for_dataset("mnist", rng=0)
+        with pytest.raises((ValueError, TypeError)):
+            model_cost(model)

@@ -1,0 +1,67 @@
+"""Tests for the simulated energy meter."""
+
+import numpy as np
+import pytest
+
+from repro.hw.devices import gci_gpu, raspberry_pi4
+from repro.hw.energy import energy_joules
+from repro.hw.meter import EnergyMeter
+
+
+class TestEnergyMeter:
+    def test_reading_contract(self):
+        meter = EnergyMeter(raspberry_pi4(), rng=np.random.default_rng(0))
+        reading = meter.measure_run(per_inference_s=0.01, n_inferences=100)
+        assert reading.energy_joules > 0
+        assert reading.duration_s == pytest.approx(1.0)
+        assert reading.n_samples >= 9
+
+    def test_converges_to_analytical_model(self):
+        """Long metered runs must agree with the paper's E = P * dt."""
+        device = raspberry_pi4()
+        meter = EnergyMeter(
+            device, sample_hz=200.0, noise_std_watts=0.0, rng=np.random.default_rng(1)
+        )
+        per_inf = 0.012735  # Table II LeNet latency
+        metered = meter.energy_per_inference(per_inf, n_inferences=5000)
+        analytical = energy_joules(device, per_inf)
+        assert metered == pytest.approx(analytical, rel=0.02)
+
+    def test_idle_gaps_reduce_energy_per_wallclock_but_add_idle_power(self):
+        device = raspberry_pi4()
+        meter = EnergyMeter(device, sample_hz=500.0, noise_std_watts=0.0,
+                            rng=np.random.default_rng(2))
+        busy = meter.measure_run(0.01, 200, idle_gap_s=0.0)
+        gappy = meter.measure_run(0.01, 200, idle_gap_s=0.01)
+        # Same useful work; the gappy run draws idle power in between so
+        # total energy is higher but mean power is lower.
+        assert gappy.energy_joules > busy.energy_joules
+        assert gappy.mean_power_watts < busy.mean_power_watts
+
+    def test_gpu_meter_constant_power(self):
+        device = gci_gpu()
+        meter = EnergyMeter(device, sample_hz=100.0, noise_std_watts=0.0,
+                            rng=np.random.default_rng(3))
+        reading = meter.measure_run(0.001, 1000, idle_gap_s=0.001)
+        assert reading.mean_power_watts == pytest.approx(96.7, rel=0.01)
+
+    def test_noise_does_not_bias(self):
+        device = raspberry_pi4()
+        quiet = EnergyMeter(device, sample_hz=100.0, noise_std_watts=0.0,
+                            rng=np.random.default_rng(4))
+        noisy = EnergyMeter(device, sample_hz=100.0, noise_std_watts=0.3,
+                            rng=np.random.default_rng(5))
+        e_quiet = quiet.energy_per_inference(0.01, 3000)
+        e_noisy = noisy.energy_per_inference(0.01, 3000)
+        assert e_noisy == pytest.approx(e_quiet, rel=0.02)
+
+    def test_invalid_args(self):
+        meter = EnergyMeter(raspberry_pi4(), rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            meter.measure_run(0.0, 10)
+        with pytest.raises(ValueError):
+            meter.measure_run(0.1, 0)
+        with pytest.raises(ValueError):
+            meter.measure_run(0.1, 1, idle_gap_s=-1.0)
+        with pytest.raises(ValueError):
+            EnergyMeter(raspberry_pi4(), sample_hz=0)

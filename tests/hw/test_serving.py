@@ -1,0 +1,90 @@
+"""Tests for the edge-serving queue simulator."""
+
+import numpy as np
+import pytest
+
+from repro.hw.serving import ServingStats, bimodal_service_sampler, simulate_serving
+
+
+class TestSimulateServing:
+    def test_light_load_sojourn_near_service_time(self):
+        stats = simulate_serving(0.002, arrival_rate_hz=10.0, n_requests=5000, rng=0)
+        # At 2% utilization, queueing is negligible.
+        assert stats.mean_s == pytest.approx(0.002, rel=0.1)
+        assert stats.utilization < 0.05
+
+    def test_heavy_load_queues_build(self):
+        light = simulate_serving(0.002, arrival_rate_hz=50.0, n_requests=20000, rng=0)
+        heavy = simulate_serving(0.002, arrival_rate_hz=450.0, n_requests=20000, rng=0)
+        assert heavy.mean_s > light.mean_s
+        assert heavy.p99_s > light.p99_s
+
+    def test_percentiles_ordered(self):
+        stats = simulate_serving(0.002, arrival_rate_hz=300.0, n_requests=10000, rng=1)
+        assert stats.p50_s <= stats.p95_s <= stats.p99_s <= stats.max_s
+
+    def test_unstable_system_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_serving(0.01, arrival_rate_hz=200.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            simulate_serving(0.0, 10.0)
+        with pytest.raises(ValueError):
+            simulate_serving(0.01, -1.0)
+        with pytest.raises(ValueError):
+            simulate_serving(0.01, 10.0, n_requests=0)
+
+    def test_mm1_mean_close_to_theory(self):
+        """M/D/1 mean sojourn: s * (1 + rho / (2 (1 - rho)))."""
+        s, rate = 0.002, 300.0
+        rho = s * rate
+        theory = s * (1 + rho / (2 * (1 - rho)))
+        stats = simulate_serving(s, rate, n_requests=200_000, rng=2)
+        assert stats.mean_s == pytest.approx(theory, rel=0.05)
+
+    def test_summary_renders(self):
+        stats = simulate_serving(0.002, 10.0, n_requests=100, rng=0)
+        text = stats.summary()
+        assert "p95" in text and "util" in text
+
+
+class TestBimodalSampler:
+    def test_extremes(self):
+        rng = np.random.default_rng(0)
+        all_early = bimodal_service_sampler(0.001, 0.01, 1.0)(rng, 100)
+        assert np.allclose(all_early, 0.001)
+        all_full = bimodal_service_sampler(0.001, 0.01, 0.0)(rng, 100)
+        assert np.allclose(all_full, 0.01)
+
+    def test_mixture_mean(self):
+        rng = np.random.default_rng(1)
+        samples = bimodal_service_sampler(0.001, 0.01, 0.7)(rng, 100_000)
+        expected = 0.7 * 0.001 + 0.3 * 0.01
+        assert samples.mean() == pytest.approx(expected, rel=0.02)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            bimodal_service_sampler(0.001, 0.01, 1.5)
+        with pytest.raises(ValueError):
+            bimodal_service_sampler(-1.0, 0.01, 0.5)
+
+
+class TestCBNetVsBranchyNetTails:
+    def test_cbnet_tail_advantage_exceeds_mean_advantage(self):
+        """The deployment insight: constant service (CBNet) beats bimodal
+        service (BranchyNet) by more at p99 than at the mean, for equal
+        arrival rates."""
+        # Pi-4-like numbers: CBNet 2.07ms constant; BranchyNet 1.8/11.6ms
+        # at 90% exit (mean 2.78ms).
+        rate = 150.0
+        cbnet = simulate_serving(0.00207, rate, n_requests=50_000, rng=3)
+        branchy = simulate_serving(
+            bimodal_service_sampler(0.0018, 0.0116, 0.90),
+            rate,
+            n_requests=50_000,
+            rng=3,
+        )
+        mean_ratio = branchy.mean_s / cbnet.mean_s
+        p99_ratio = branchy.p99_s / cbnet.p99_s
+        assert p99_ratio > mean_ratio > 1.0

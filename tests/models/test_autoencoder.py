@@ -1,0 +1,117 @@
+"""Unit tests for the converting autoencoder (Table I)."""
+
+import numpy as np
+import pytest
+
+from repro.models import ConvertingAutoencoder
+from repro.models.autoencoder import TABLE1_SPECS, AutoencoderSpec
+from repro.nn import Tensor
+
+
+class TestTable1Specs:
+    def test_paper_architectures(self):
+        """Exact layer sizes/activations from Table I."""
+        assert TABLE1_SPECS["mnist"].layer_sizes == (784, 384, 32)
+        assert TABLE1_SPECS["mnist"].activations == ("relu", "relu", "linear")
+        assert TABLE1_SPECS["fmnist"].layer_sizes == (512, 256, 128)
+        assert TABLE1_SPECS["fmnist"].activations == ("relu", "relu", "linear")
+        assert TABLE1_SPECS["kmnist"].layer_sizes == (512, 384, 32)
+        assert TABLE1_SPECS["kmnist"].activations == ("relu", "linear", "linear")
+        for spec in TABLE1_SPECS.values():
+            assert spec.output_activation == "softmax"
+            assert spec.input_dim == 784
+
+    def test_l1_coefficient_is_papers(self):
+        # "L1 penalty with a coefficient of 10e-8" = 1e-7.
+        for spec in TABLE1_SPECS.values():
+            assert spec.l1_activity == pytest.approx(1e-7)
+
+    def test_mismatched_spec_raises(self):
+        with pytest.raises(ValueError):
+            AutoencoderSpec(name="bad", layer_sizes=(10, 20), activations=("relu",))
+
+
+class TestForward:
+    def test_output_shape(self):
+        model = ConvertingAutoencoder.for_dataset("mnist", rng=0)
+        out = model(Tensor(np.random.default_rng(0).random((4, 784), dtype=np.float32)))
+        assert out.shape == (4, 784)
+
+    def test_softmax_head_output_sums_to_input_dim(self):
+        """Softmax + Scale(D): each reconstruction sums to D."""
+        model = ConvertingAutoencoder.for_dataset("fmnist", rng=0)
+        out = model(Tensor(np.random.default_rng(0).random((3, 784), dtype=np.float32)))
+        assert np.allclose(out.data.sum(axis=1), 784.0, rtol=1e-4)
+
+    def test_sigmoid_head_in_unit_interval(self):
+        model = ConvertingAutoencoder.for_dataset("mnist", rng=0, output_activation="sigmoid")
+        out = model(Tensor(np.random.default_rng(0).random((3, 784), dtype=np.float32)))
+        assert out.data.min() >= 0 and out.data.max() <= 1
+
+    def test_wrong_input_width_raises(self):
+        model = ConvertingAutoencoder.for_dataset("mnist", rng=0)
+        with pytest.raises(ValueError):
+            model(Tensor(np.zeros((1, 100), dtype=np.float32)))
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            ConvertingAutoencoder.for_dataset("cifar")
+
+    def test_encode_bottleneck_width(self):
+        model = ConvertingAutoencoder.for_dataset("kmnist", rng=0)
+        code = model.encode(Tensor(np.zeros((2, 784), dtype=np.float32)))
+        assert code.shape == (2, 32)
+
+
+class TestActivityPenalty:
+    def test_penalty_present_in_train_mode(self):
+        model = ConvertingAutoencoder.for_dataset("mnist", rng=0)
+        model.train()
+        model(Tensor(np.random.default_rng(0).random((2, 784), dtype=np.float32)))
+        penalty = model.activity_penalty()
+        assert penalty is not None
+        assert float(penalty.data) >= 0.0
+
+    def test_penalty_absent_in_eval_mode(self):
+        model = ConvertingAutoencoder.for_dataset("mnist", rng=0)
+        model.eval()
+        model(Tensor(np.zeros((2, 784), dtype=np.float32)))
+        assert model.activity_penalty() is None
+
+
+class TestConvert:
+    def test_convert_accepts_nchw(self):
+        model = ConvertingAutoencoder.for_dataset("mnist", rng=0)
+        images = np.random.default_rng(0).random((5, 1, 28, 28)).astype(np.float32)
+        out = model.convert(images, batch_size=2)
+        assert out.shape == (5, 784)
+
+    def test_convert_matches_forward(self):
+        model = ConvertingAutoencoder.for_dataset("mnist", rng=0)
+        images = np.random.default_rng(1).random((3, 1, 28, 28)).astype(np.float32)
+        from repro.nn import no_grad
+
+        with no_grad():
+            direct = model(Tensor(images.reshape(3, -1))).data
+        assert np.allclose(model.convert(images), direct, atol=1e-6)
+
+    def test_learns_identity_on_tiny_problem(self):
+        """The AE can fit a trivial conversion task (inputs → fixed target)."""
+        from repro.core import TrainConfig
+        from repro.core.trainer import fit_autoencoder
+
+        rng = np.random.default_rng(0)
+        spec = AutoencoderSpec(
+            name="tiny",
+            layer_sizes=(32, 16, 8),
+            activations=("relu", "relu", "linear"),
+            output_activation="sigmoid",
+            input_dim=16,
+        )
+        model = ConvertingAutoencoder(spec, rng=0)
+        inputs = rng.random((64, 16)).astype(np.float32)
+        targets = np.tile(rng.random((1, 16)).astype(np.float32), (64, 1))
+        history = fit_autoencoder(
+            model, inputs, targets, TrainConfig(epochs=60, batch_size=16, lr=3e-3), rng=0
+        )
+        assert history.loss[-1] < history.loss[0] * 0.15

@@ -1,0 +1,77 @@
+"""Unit tests for the truncated lightweight classifier."""
+
+import numpy as np
+import pytest
+
+from repro.models import BranchyLeNet, LeNet, LightweightClassifier
+from repro.nn import Tensor
+from repro.nn.layers import Conv2d, Linear
+
+
+class TestTruncation:
+    def test_from_branchynet_shares_parameters(self):
+        """Truncation must share weights with the source BranchyNet."""
+        branchy = BranchyLeNet(rng=0)
+        lw = LightweightClassifier.from_branchynet(branchy)
+        branchy.stem[0].weight.data[:] = 42.0
+        assert np.allclose(lw.stem[0].weight.data, 42.0)
+
+    def test_detached_is_independent(self):
+        branchy = BranchyLeNet(rng=0)
+        lw = LightweightClassifier.from_branchynet(branchy).detached()
+        branchy.stem[0].weight.data[:] = 42.0
+        assert not np.allclose(lw.stem[0].weight.data, 42.0)
+
+    def test_two_convs_one_fc(self):
+        """Paper §III-B: 2 conv + 1 FC."""
+        lw = LightweightClassifier.from_branchynet(BranchyLeNet(rng=0))
+        convs = [m for m in lw.modules() if isinstance(m, Conv2d)]
+        fcs = [m for m in lw.modules() if isinstance(m, Linear)]
+        assert len(convs) == 2 and len(fcs) == 1
+
+    def test_matches_branch_logits(self):
+        branchy = BranchyLeNet(rng=0)
+        lw = LightweightClassifier.from_branchynet(branchy)
+        images = np.random.default_rng(0).random((4, 1, 28, 28)).astype(np.float32)
+        from repro.nn import no_grad
+
+        with no_grad():
+            expected = branchy.branch(branchy.stem(Tensor(images))).data
+            got = lw(Tensor(images)).data
+        assert np.allclose(got, expected, atol=1e-6)
+
+    def test_wrong_type_raises(self):
+        with pytest.raises(TypeError):
+            LightweightClassifier.from_branchynet(LeNet(rng=0))
+
+
+class TestLenetTruncation:
+    def test_truncate_lenet_shapes(self):
+        lenet = LeNet(rng=0)
+        lw = LightweightClassifier.truncate_lenet(lenet, keep_layers=3, rng=0)
+        out = lw(Tensor(np.zeros((2, 1, 28, 28), dtype=np.float32)))
+        assert out.shape == (2, 10)
+
+    def test_truncate_lenet_various_depths(self):
+        lenet = LeNet(rng=0)
+        for k in (1, 2, 3, 6):
+            lw = LightweightClassifier.truncate_lenet(lenet, keep_layers=k, rng=0)
+            out = lw(Tensor(np.zeros((1, 1, 28, 28), dtype=np.float32)))
+            assert out.shape == (1, 10)
+
+    def test_wrong_type_raises(self):
+        with pytest.raises(TypeError):
+            LightweightClassifier.truncate_lenet(BranchyLeNet(rng=0))
+
+
+class TestPredict:
+    def test_predict_contract(self):
+        lw = LightweightClassifier.from_branchynet(BranchyLeNet(rng=0))
+        images = np.random.default_rng(0).random((7, 1, 28, 28)).astype(np.float32)
+        preds = lw.predict(images, batch_size=3)
+        assert preds.shape == (7,)
+        assert ((preds >= 0) & (preds < 10)).all()
+
+    def test_stage_names(self):
+        lw = LightweightClassifier.from_branchynet(BranchyLeNet(rng=0))
+        assert [n for n, _ in lw.stages()] == ["stem", "head"]

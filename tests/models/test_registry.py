@@ -1,0 +1,25 @@
+"""Unit tests for the model registry."""
+
+import pytest
+
+from repro.models import build_model, MODEL_BUILDERS, LeNet, BranchyLeNet, ConvertingAutoencoder
+
+
+class TestRegistry:
+    def test_all_names_build(self):
+        for name in MODEL_BUILDERS:
+            model = build_model(name, rng=0)
+            assert model.num_parameters() > 0
+
+    def test_types(self):
+        assert isinstance(build_model("lenet", rng=0), LeNet)
+        assert isinstance(build_model("branchynet", rng=0), BranchyLeNet)
+        assert isinstance(build_model("autoencoder-mnist", rng=0), ConvertingAutoencoder)
+
+    def test_kwargs_forwarded(self):
+        model = build_model("lenet", rng=0, num_classes=5)
+        assert model.num_classes == 5
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            build_model("resnet152")

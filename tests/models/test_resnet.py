@@ -1,0 +1,90 @@
+"""Tests for the MiniResNet extension (paper §V architectures)."""
+
+import numpy as np
+import pytest
+
+from repro.models import LightweightClassifier, MiniResNet, ResidualBlock
+from repro.nn import Tensor, gradcheck
+
+
+class TestResidualBlock:
+    def test_identity_skip_shape(self):
+        block = ResidualBlock(8, 8, rng=np.random.default_rng(0))
+        out = block(Tensor(np.zeros((2, 8, 7, 7), dtype=np.float32)))
+        assert out.shape == (2, 8, 7, 7)
+        assert block.projection is None
+
+    def test_projected_skip_shape(self):
+        block = ResidualBlock(8, 16, rng=np.random.default_rng(0))
+        out = block(Tensor(np.zeros((2, 8, 7, 7), dtype=np.float32)))
+        assert out.shape == (2, 16, 7, 7)
+        assert block.projection is not None
+
+    def test_zero_convs_pass_skip_through(self):
+        """With zeroed conv weights the block is ReLU(skip)."""
+        block = ResidualBlock(4, 4, rng=np.random.default_rng(0))
+        for p in (block.conv1, block.conv2):
+            p.weight.data[:] = 0.0
+            p.bias.data[:] = 0.0
+        x = np.random.default_rng(1).standard_normal((1, 4, 5, 5)).astype(np.float32)
+        out = block(Tensor(x)).data
+        assert np.allclose(out, np.maximum(x, 0.0), atol=1e-6)
+
+    def test_gradients_flow_through_skip(self):
+        rng = np.random.default_rng(2)
+        block = ResidualBlock(2, 2, rng=rng)
+        x = Tensor(
+            rng.standard_normal((1, 2, 4, 4)).astype(np.float32), requires_grad=True
+        )
+        block(x).sum().backward()
+        assert x.grad is not None
+        assert np.abs(x.grad).sum() > 0
+
+
+class TestMiniResNet:
+    def test_forward_shape(self):
+        model = MiniResNet(rng=0)
+        out = model(Tensor(np.zeros((2, 1, 28, 28), dtype=np.float32)))
+        assert out.shape == (2, 10)
+
+    def test_heavier_than_lenet(self):
+        from repro.hw.flops import model_cost
+        from repro.models import LeNet
+
+        resnet_macs = sum(s.macs for s in model_cost(MiniResNet(rng=0)))
+        lenet_macs = sum(s.macs for s in model_cost(LeNet(rng=0)))
+        assert resnet_macs > 2 * lenet_macs
+
+    def test_flops_walker_handles_residual_blocks(self):
+        from repro.hw.flops import model_cost
+
+        stages = model_cost(MiniResNet(rng=0))
+        total_params = sum(s.params for s in stages)
+        assert total_params == MiniResNet(rng=0).num_parameters()
+
+    def test_latency_model_works(self):
+        from repro.hw import raspberry_pi4
+        from repro.hw.latency import model_latency
+
+        t = model_latency(MiniResNet(rng=0), raspberry_pi4())
+        assert t > 0
+
+    def test_truncation_recipe_applies(self):
+        """§III-B generalization works on the ResNet too."""
+        model = MiniResNet(rng=0)
+        lw = LightweightClassifier.truncate_lenet(model, keep_layers=3, rng=0)
+        out = lw(Tensor(np.zeros((2, 1, 28, 28), dtype=np.float32)))
+        assert out.shape == (2, 10)
+
+    def test_trains_on_small_problem(self, tiny_mnist):
+        from repro.core import TrainConfig
+        from repro.core.trainer import evaluate_accuracy, fit_classifier
+
+        model = MiniResNet(rng=0)
+        fit_classifier(model, tiny_mnist["train"], TrainConfig(epochs=4), rng=0)
+        assert evaluate_accuracy(model, tiny_mnist["test"]) > 0.85
+
+    def test_registry_builds_it(self):
+        from repro.models import build_model
+
+        assert isinstance(build_model("miniresnet", rng=0), MiniResNet)

@@ -1,0 +1,128 @@
+"""Property-based tests (hypothesis) for autograd correctness.
+
+Strategy: generate random shapes/values, compare analytic gradients with
+central differences, and check algebraic invariants that must hold for
+any input (linearity of the gradient operator, broadcasting consistency,
+softmax simplex membership).
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import Tensor, gradcheck
+from repro.nn import functional as F
+
+# Bounded, kink-free floats: keeps finite differences meaningful.
+_floats = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False, allow_infinity=False)
+
+
+def _arrays(shape_strategy):
+    return shape_strategy.flatmap(
+        lambda shape: hnp.arrays(np.float64, shape, elements=_floats)
+    )
+
+
+matrix_shapes = st.tuples(st.integers(1, 4), st.integers(1, 4))
+
+
+@settings(max_examples=25, deadline=None)
+@given(_arrays(matrix_shapes))
+def test_sum_gradient_is_ones(x):
+    t = Tensor(x, requires_grad=True, dtype=np.float64)
+    t.sum().backward()
+    assert np.allclose(t.grad, np.ones_like(x))
+
+
+@settings(max_examples=25, deadline=None)
+@given(_arrays(matrix_shapes))
+def test_tanh_gradcheck(x):
+    assert gradcheck(lambda a: a.tanh().sum(), x)
+
+
+@settings(max_examples=25, deadline=None)
+@given(_arrays(matrix_shapes))
+def test_sigmoid_gradcheck(x):
+    assert gradcheck(lambda a: a.sigmoid().sum(), x)
+
+
+@settings(max_examples=25, deadline=None)
+@given(_arrays(matrix_shapes), _arrays(matrix_shapes))
+def test_addition_commutes(x, y):
+    if x.shape != y.shape:
+        return
+    a = Tensor(x, dtype=np.float64)
+    b = Tensor(y, dtype=np.float64)
+    assert np.allclose((a + b).data, (b + a).data)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(1, 3),
+    st.integers(1, 4),
+    st.integers(1, 4),
+    st.data(),
+)
+def test_matmul_gradcheck(n, k, m, data):
+    x = data.draw(hnp.arrays(np.float64, (n, k), elements=_floats))
+    y = data.draw(hnp.arrays(np.float64, (k, m), elements=_floats))
+    assert gradcheck(lambda a, b: (a @ b).sum(), x, y)
+
+
+@settings(max_examples=25, deadline=None)
+@given(_arrays(matrix_shapes))
+def test_softmax_lives_on_simplex(x):
+    probs = F.softmax(Tensor(x, dtype=np.float64), axis=-1).data
+    assert np.all(probs >= 0)
+    assert np.allclose(probs.sum(axis=-1), 1.0, atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(_arrays(matrix_shapes), st.floats(min_value=0.1, max_value=5.0))
+def test_gradient_linearity_in_upstream(x, scale):
+    """d(c*f)/dx == c * df/dx — backward must be linear in its seed."""
+    t1 = Tensor(x, requires_grad=True, dtype=np.float64)
+    (t1.tanh().sum() * scale).backward()
+    t2 = Tensor(x, requires_grad=True, dtype=np.float64)
+    t2.tanh().sum().backward()
+    assert np.allclose(t1.grad, scale * t2.grad, rtol=1e-6, atol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(2, 5),
+    st.integers(2, 5),
+    st.data(),
+)
+def test_broadcast_add_gradient_shapes(rows, cols, data):
+    x = data.draw(hnp.arrays(np.float64, (rows, cols), elements=_floats))
+    y = data.draw(hnp.arrays(np.float64, (cols,), elements=_floats))
+    a = Tensor(x, requires_grad=True, dtype=np.float64)
+    b = Tensor(y, requires_grad=True, dtype=np.float64)
+    (a + b).sum().backward()
+    assert a.grad.shape == x.shape
+    assert b.grad.shape == y.shape
+    assert np.allclose(b.grad, rows)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 3), st.integers(1, 2), st.integers(4, 7), st.data())
+def test_conv2d_gradcheck_random_shapes(n, c, hw, data):
+    x = data.draw(hnp.arrays(np.float64, (n, c, hw, hw), elements=_floats))
+    w = data.draw(hnp.arrays(np.float64, (2, c, 3, 3), elements=_floats))
+    assert gradcheck(lambda a, b: (F.conv2d(a, b, padding=1) ** 2).sum(), x, w)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 4), st.integers(2, 10), st.data())
+def test_cross_entropy_nonnegative_and_grad_sums_zero(n, k, data):
+    logits = data.draw(hnp.arrays(np.float64, (n, k), elements=_floats))
+    labels = data.draw(
+        hnp.arrays(np.int64, (n,), elements=st.integers(min_value=0, max_value=k - 1))
+    )
+    t = Tensor(logits, requires_grad=True, dtype=np.float64)
+    loss = F.cross_entropy(t, labels)
+    assert float(loss.data) >= 0.0
+    loss.backward()
+    # softmax-minus-onehot gradients sum to zero along classes.
+    assert np.allclose(t.grad.sum(axis=1), 0.0, atol=1e-9)

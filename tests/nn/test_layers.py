@@ -1,0 +1,202 @@
+"""Unit tests for layer modules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, Sequential
+from repro.nn.layers import (
+    ActivityRegularizer,
+    AvgPool2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Reshape,
+    Scale,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+from repro.nn.layers.activation import Identity, LeakyReLU, activation_by_name
+
+
+class TestLinear:
+    def test_shapes_and_determinism(self):
+        l1 = Linear(8, 4, rng=np.random.default_rng(0))
+        l2 = Linear(8, 4, rng=np.random.default_rng(0))
+        assert np.allclose(l1.weight.data, l2.weight.data)
+        out = l1(Tensor(np.zeros((3, 8), dtype=np.float32)))
+        assert out.shape == (3, 4)
+
+    def test_bias_disabled(self):
+        layer = Linear(4, 2, bias=False, rng=np.random.default_rng(0))
+        assert layer.bias is None
+        assert sum(1 for _ in layer.parameters()) == 1
+
+    def test_wrong_input_width_raises(self):
+        with pytest.raises(ValueError):
+            Linear(4, 2, rng=np.random.default_rng(0))(Tensor(np.zeros((1, 5))))
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+        with pytest.raises(ValueError):
+            Linear(3, -1)
+
+
+class TestConv2dLayer:
+    def test_forward_shape(self):
+        conv = Conv2d(3, 8, kernel_size=3, padding=1, rng=np.random.default_rng(0))
+        out = conv(Tensor(np.zeros((2, 3, 12, 12), dtype=np.float32)))
+        assert out.shape == (2, 8, 12, 12)
+
+    def test_output_spatial_helper(self):
+        conv = Conv2d(1, 1, kernel_size=5, stride=2, padding=2, rng=np.random.default_rng(0))
+        assert conv.output_spatial(28, 28) == (14, 14)
+
+    def test_invalid_channels_raise(self):
+        with pytest.raises(ValueError):
+            Conv2d(0, 4, 3)
+
+    def test_parameters_registered(self):
+        conv = Conv2d(2, 4, 3, rng=np.random.default_rng(0))
+        names = dict(conv.named_parameters())
+        assert set(names) == {"weight", "bias"}
+
+
+class TestActivations:
+    def test_relu_clips_negatives(self):
+        out = ReLU()(Tensor(np.array([-1.0, 2.0])))
+        assert np.allclose(out.data, [0.0, 2.0])
+
+    def test_leaky_relu_slope(self):
+        out = LeakyReLU(0.1)(Tensor(np.array([-10.0, 10.0])))
+        assert np.allclose(out.data, [-1.0, 10.0])
+
+    def test_sigmoid_range(self):
+        out = Sigmoid()(Tensor(np.array([-100.0, 0.0, 100.0])))
+        assert np.allclose(out.data, [0.0, 0.5, 1.0], atol=1e-6)
+
+    def test_tanh_odd(self):
+        x = np.array([-2.0, 0.0, 2.0])
+        out = Tanh()(Tensor(x)).data
+        assert np.allclose(out, np.tanh(x), atol=1e-6)
+
+    def test_softmax_layer_axis(self):
+        out = Softmax(axis=0)(Tensor(np.zeros((4, 2), dtype=np.float32))).data
+        assert np.allclose(out.sum(axis=0), 1.0)
+
+    def test_identity_passthrough(self):
+        x = Tensor(np.arange(3, dtype=np.float32))
+        assert Identity()(x) is x
+
+    def test_activation_by_name(self):
+        assert isinstance(activation_by_name("relu"), ReLU)
+        assert isinstance(activation_by_name("linear"), Identity)
+        assert isinstance(activation_by_name("Softmax"), Softmax)
+        with pytest.raises(KeyError):
+            activation_by_name("gelu9000")
+
+
+class TestShapeLayers:
+    def test_flatten(self):
+        out = Flatten()(Tensor(np.zeros((4, 2, 3, 3))))
+        assert out.shape == (4, 18)
+
+    def test_reshape_valid_and_invalid(self):
+        out = Reshape(2, 9)(Tensor(np.zeros((4, 18))))
+        assert out.shape == (4, 2, 9)
+        with pytest.raises(ValueError):
+            Reshape(5, 5)(Tensor(np.zeros((4, 18))))
+
+    def test_scale(self):
+        out = Scale(784)(Tensor(np.full((1, 4), 1.0 / 784, dtype=np.float32)))
+        assert np.allclose(out.data, 1.0, atol=1e-5)
+        with pytest.raises(ValueError):
+            Scale(0)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        layer.eval()
+        x = Tensor(np.ones((10, 10)))
+        assert np.allclose(layer(x).data, 1.0)
+
+    def test_train_mode_scales_survivors(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((1000,)))).data
+        # Survivors are scaled by 1/keep; mean stays ~1.
+        assert out.mean() == pytest.approx(1.0, abs=0.12)
+        assert set(np.round(np.unique(out), 6)) <= {0.0, 2.0}
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestActivityRegularizer:
+    def test_l1_penalty_recorded_in_training(self):
+        reg = ActivityRegularizer(l1=0.1)
+        reg.train()
+        x = Tensor(np.array([[1.0, -2.0]]), requires_grad=True)
+        out = reg(x)
+        assert out is x
+        penalty = reg.pop_penalty()
+        assert penalty is not None
+        assert float(penalty.data) == pytest.approx(0.3)
+        assert reg.pop_penalty() is None  # popped exactly once
+
+    def test_no_penalty_in_eval(self):
+        reg = ActivityRegularizer(l1=0.1)
+        reg.eval()
+        reg(Tensor(np.ones((1, 2))))
+        assert reg.pop_penalty() is None
+
+    def test_l2_penalty(self):
+        reg = ActivityRegularizer(l2=0.5)
+        reg.train()
+        reg(Tensor(np.array([[2.0]])))
+        assert float(reg.pop_penalty().data) == pytest.approx(2.0)
+
+    def test_negative_coefficient_raises(self):
+        with pytest.raises(ValueError):
+            ActivityRegularizer(l1=-1.0)
+
+
+class TestPoolingLayers:
+    def test_maxpool_default_stride(self):
+        layer = MaxPool2d(2)
+        assert layer.stride == 2
+        out = layer(Tensor(np.zeros((1, 1, 8, 8))))
+        assert out.shape == (1, 1, 4, 4)
+
+    def test_avgpool(self):
+        out = AvgPool2d(2)(Tensor(np.ones((1, 1, 4, 4))))
+        assert np.allclose(out.data, 1.0)
+
+    def test_invalid_kernel_raises(self):
+        with pytest.raises(ValueError):
+            MaxPool2d(0)
+
+
+class TestSequentialGradientFlow:
+    def test_small_mlp_trains_downhill(self):
+        rng = np.random.default_rng(0)
+        model = Sequential(
+            Linear(4, 16, rng=rng), ReLU(), Linear(16, 1, rng=rng)
+        )
+        x = rng.standard_normal((32, 4)).astype(np.float32)
+        y = (x.sum(axis=1, keepdims=True) > 0).astype(np.float32)
+        losses = []
+        for _ in range(30):
+            model.zero_grad()
+            pred = model(Tensor(x)).sigmoid()
+            loss = ((pred - Tensor(y)) ** 2).mean()
+            loss.backward()
+            for p in model.parameters():
+                p.data -= 0.5 * p.grad
+            losses.append(float(loss.data))
+        assert losses[-1] < losses[0] * 0.5

@@ -1,0 +1,48 @@
+"""Unit tests for model checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.models import LeNet
+from repro.nn import Tensor, load_into, load_state, save_model, save_state
+
+
+class TestStateIO:
+    def test_roundtrip_with_meta(self, tmp_path):
+        state = {"a": np.arange(6, dtype=np.float32).reshape(2, 3)}
+        path = save_state(state, tmp_path / "ckpt.npz", meta={"epoch": 3, "name": "x"})
+        loaded, meta = load_state(path)
+        assert np.allclose(loaded["a"], state["a"])
+        assert meta == {"epoch": 3, "name": "x"}
+
+    def test_roundtrip_without_meta(self, tmp_path):
+        path = save_state({"w": np.ones(4)}, tmp_path / "c.npz")
+        loaded, meta = load_state(path)
+        assert meta == {}
+        assert np.allclose(loaded["w"], 1.0)
+
+    def test_suffix_normalization(self, tmp_path):
+        path = save_state({"w": np.ones(1)}, tmp_path / "noext")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+
+class TestModelIO:
+    def test_lenet_roundtrip_identical_outputs(self, tmp_path):
+        model = LeNet(rng=0)
+        path = save_model(model, tmp_path / "lenet.npz", meta={"seed": 0})
+        fresh = LeNet(rng=99)  # different init
+        meta = load_into(fresh, path)
+        assert meta == {"seed": 0}
+        x = np.random.default_rng(1).random((2, 1, 28, 28)).astype(np.float32)
+        a = model(Tensor(x)).data
+        b = fresh(Tensor(x)).data
+        assert np.allclose(a, b, atol=1e-6)
+
+    def test_load_into_strict_mismatch(self, tmp_path):
+        model = LeNet(rng=0)
+        path = save_model(model, tmp_path / "lenet.npz")
+        from repro.models import BranchyLeNet
+
+        with pytest.raises(KeyError):
+            load_into(BranchyLeNet(rng=0), path)
