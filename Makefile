@@ -1,0 +1,38 @@
+# Developer entry points for the CBNet reproduction.
+#
+#   make test         tier-1 unit/integration suite (the CI gate)
+#   make bench-smoke  fast benchmark subset, incl. the serving engine
+#   make bench        full benchmark suite (regenerates benchmarks/results/)
+#   make docs-check   README code blocks compile + docstring coverage
+#   make docs-run     additionally *execute* the README blocks (trains on
+#                     first run; disk-cached after)
+#   make lint         ruff, when installed
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-smoke bench docs-check docs-run lint
+
+test:
+	$(PYTHON) -m pytest tests -x -q
+
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/test_table1_architecture.py \
+	    benchmarks/test_serving_tail_latency.py \
+	    benchmarks/test_serving_engine.py -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+docs-check:
+	$(PYTHON) tools/check_docs.py
+
+docs-run:
+	$(PYTHON) tools/check_docs.py --run
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+	    ruff check src tests benchmarks examples tools; \
+	else \
+	    echo "ruff not installed; skipping (config in ruff.toml)"; \
+	fi

@@ -1,8 +1,65 @@
-"""Shim for offline environments lacking the `wheel` package.
+"""Package metadata for the CBNet reproduction.
 
-`pip install -e .` (PEP 660) needs wheel; `python setup.py develop` does
-not. All metadata lives in pyproject.toml.
+Kept in setup.py (rather than pyproject.toml) so `python setup.py
+develop` works in offline environments that lack the `wheel` package
+PEP 660 editable installs require; `pip install -e .` uses the same
+metadata when wheel is available.
 """
-from setuptools import setup
 
-setup()
+import re
+from pathlib import Path
+
+from setuptools import find_packages, setup
+
+HERE = Path(__file__).resolve().parent
+
+
+def read_version() -> str:
+    text = (HERE / "src" / "repro" / "__init__.py").read_text()
+    match = re.search(r'^__version__ = "([^"]+)"', text, re.MULTILINE)
+    if not match:
+        raise RuntimeError("__version__ not found in src/repro/__init__.py")
+    return match.group(1)
+
+
+def read_long_description() -> str:
+    readme = HERE / "README.md"
+    return readme.read_text() if readme.exists() else ""
+
+
+setup(
+    name="cbnet-repro",
+    version=read_version(),
+    description=(
+        "Reproduction of CBNet (Mahmud et al., IPDPS 2024): converting "
+        "autoencoder for low-latency, energy-efficient edge inference, "
+        "with a batched serving engine"
+    ),
+    long_description=read_long_description(),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    python_requires=">=3.10",
+    packages=find_packages("src"),
+    package_dir={"": "src"},
+    install_requires=[
+        "numpy>=1.24",
+        "scipy>=1.10",
+    ],
+    extras_require={
+        "test": ["pytest>=7.0", "pytest-benchmark", "hypothesis"],
+    },
+    entry_points={
+        "console_scripts": [
+            "cbnet-experiment = repro.experiments.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Topic :: Scientific/Engineering :: Artificial Intelligence",
+    ],
+)

@@ -13,8 +13,13 @@ Sub-packages: :mod:`repro.nn` (NumPy DL framework), :mod:`repro.data`
 (synthetic MNIST-family datasets), :mod:`repro.models` (LeNet /
 BranchyNet / converting AE), :mod:`repro.core` (the CBNet pipeline),
 :mod:`repro.baselines` (AdaDeep, SubFlow), :mod:`repro.hw` (device
-latency/power simulation), :mod:`repro.eval` + :mod:`repro.experiments`
-(every table and figure of the paper).
+latency/power simulation), :mod:`repro.serving` (batched inference
+serving engine: micro-batching, LRU result cache, easy/hard routing),
+:mod:`repro.eval` + :mod:`repro.experiments` (every table and figure
+of the paper).
+
+See README.md for the quickstart and docs/architecture.md for the
+layer diagram and data-flow narrative.
 """
 
 from repro.core.cbnet import CBNet

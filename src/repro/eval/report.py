@@ -23,6 +23,7 @@ DEFAULT_SECTIONS: tuple[tuple[str, str], ...] = (
     ("ablation_hard_fraction", "Ablation — hard-fraction sweep"),
     ("future_work_variants", "Future work (§V) — generalized / encoder-only CBNet"),
     ("serving_tails", "Extension — tail latency under load"),
+    ("serving_engine", "Extension — batched serving engine (repro.serving)"),
 )
 
 

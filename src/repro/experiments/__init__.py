@@ -9,6 +9,7 @@ module             reproduces
 ``fig5``           Fig. 5   — baseline comparison on MNIST / Pi 4
 ``scalability``    Figs 6-8 — dataset-size scaling per device
 ``ablations``      DESIGN.md §5 — design-choice sweeps
+``serve``          extension — batched serving engine under load
 =================  ================================================
 
 Every experiment takes ``fast=True`` for a down-scaled run (small
@@ -28,6 +29,7 @@ from repro.experiments.ablations import (
     run_threshold_sweep,
     run_hard_fraction_sweep,
 )
+from repro.experiments.serve import run_serving_comparison
 
 __all__ = [
     "ExperimentScale",
@@ -41,4 +43,5 @@ __all__ = [
     "run_activation_ablation",
     "run_threshold_sweep",
     "run_hard_fraction_sweep",
+    "run_serving_comparison",
 ]

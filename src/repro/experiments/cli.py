@@ -7,6 +7,7 @@ Examples
     cbnet-experiment table2 --fast
     cbnet-experiment fig5
     cbnet-experiment scalability --dataset fmnist
+    cbnet-experiment serve --fast --scenario bursty
     cbnet-experiment all --fast
 """
 
@@ -25,6 +26,7 @@ from repro.experiments.common import DATASETS
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.scalability import run_scalability
+from repro.experiments.serve import SCENARIOS, run_serving_comparison
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
 
@@ -32,6 +34,7 @@ __all__ = ["main"]
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and run the selected experiment(s)."""
     parser = argparse.ArgumentParser(
         prog="cbnet-experiment",
         description="Regenerate the paper's tables and figures.",
@@ -45,6 +48,7 @@ def main(argv: list[str] | None = None) -> int:
             "fig5",
             "scalability",
             "ablations",
+            "serve",
             "report",
             "all",
         ],
@@ -52,6 +56,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--fast", action="store_true", help="down-scaled run")
     parser.add_argument("--dataset", default=None, help="restrict to one dataset")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--scenario",
+        choices=(*SCENARIOS, "all"),
+        default="all",
+        help="load shape for the serving engine (serve only)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, help="serving worker replicas (serve only)"
+    )
     args = parser.parse_args(argv)
 
     datasets = (args.dataset,) if args.dataset else DATASETS
@@ -71,6 +84,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment in ("scalability", "all"):
         for name in datasets:
             emit(run_scalability(name, fast=args.fast, seed=args.seed).render())
+    if args.experiment in ("serve", "all"):
+        scenarios = SCENARIOS if args.scenario == "all" else (args.scenario,)
+        emit(
+            run_serving_comparison(
+                fast=args.fast,
+                seed=args.seed,
+                dataset=args.dataset or "mnist",
+                scenarios=scenarios,
+                n_workers=args.workers,
+            ).render()
+        )
     if args.experiment in ("ablations", "all"):
         emit(run_bottleneck_ablation(seed=args.seed).render())
         emit(run_activation_ablation(seed=args.seed).render())

@@ -46,6 +46,7 @@ FULL = ExperimentScale(
 
 
 def scale_for(fast: bool) -> ExperimentScale:
+    """Pick the down-scaled or paper-scale experiment sizing."""
     return FAST if fast else FULL
 
 

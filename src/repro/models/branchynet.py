@@ -152,14 +152,28 @@ class BranchyLeNet(Module):
 
     def branch_entropies(self, images: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Entropy of the branch softmax per sample (no trunk execution)."""
+        return self.branch_gate(images, batch_size)[0]
+
+    def branch_gate(
+        self, images: np.ndarray, batch_size: int = 256
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One stem+branch pass → (entropies, branch predictions).
+
+        The serving-layer router needs both the gate statistic and the
+        early-exit labels; computing them together avoids a second
+        forward pass over the shared stem.
+        """
         self.eval()
-        out = np.empty(images.shape[0], dtype=np.float32)
+        entropies = np.empty(images.shape[0], dtype=np.float32)
+        preds = np.empty(images.shape[0], dtype=np.int64)
         with no_grad():
             for start in range(0, images.shape[0], batch_size):
                 sl = slice(start, start + batch_size)
                 logits = self.branch(self.stem(Tensor(images[sl]))).data
-                out[sl] = F.entropy(_softmax_np(logits), axis=1)
-        return out
+                probs = _softmax_np(logits)
+                entropies[sl] = F.entropy(probs, axis=1)
+                preds[sl] = probs.argmax(axis=1)
+        return entropies, preds
 
     def stages(self) -> list[tuple[str, Sequential]]:
         """Named stages for the FLOPs/latency models."""

@@ -41,4 +41,5 @@ def lecun_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray
 
 
 def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """Zero-initialized float32 parameter array (biases)."""
     return np.zeros(shape, dtype=np.float32)

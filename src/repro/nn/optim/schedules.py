@@ -27,6 +27,8 @@ class _Schedule:
 
 
 class ConstantLR(_Schedule):
+    """Fixed learning rate for every epoch."""
+
     def _lr_at(self, epoch: int) -> float:
         return self.base_lr
 

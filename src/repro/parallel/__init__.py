@@ -7,7 +7,7 @@ workers for free via copy-on-write fork pages — no pickling of inputs).
 """
 
 from repro.parallel.pool import parallel_map, ProcessPool, worker_count
-from repro.parallel.batcher import chunk_slices, even_split
+from repro.parallel.batcher import chunk_slices, even_split, plan_batches
 from repro.parallel.sweep import run_sweep, SweepResult
 
 __all__ = [
@@ -16,6 +16,7 @@ __all__ = [
     "worker_count",
     "chunk_slices",
     "even_split",
+    "plan_batches",
     "run_sweep",
     "SweepResult",
 ]

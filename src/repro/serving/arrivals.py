@@ -1,0 +1,132 @@
+"""Arrival-time and popularity generators for serving workloads.
+
+The engine consumes a sorted array of arrival times (seconds); these
+helpers generate the three canonical load shapes the benchmarks use —
+steady Poisson traffic, bursty on/off-modulated Poisson traffic, and a
+finite overload wave — plus trace-driven replay of recorded timestamps
+and a Zipf popularity sampler that turns a small image set into a
+realistic repeated-request stream (the lever that makes the result cache
+earn its keep).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "poisson_arrivals",
+    "constant_arrivals",
+    "bursty_arrivals",
+    "trace_arrivals",
+    "zipf_popularity",
+]
+
+
+def poisson_arrivals(
+    rate_hz: float, n: int, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """``n`` Poisson arrival times at mean rate ``rate_hz`` (steady load)."""
+    if rate_hz <= 0:
+        raise ValueError(f"arrival rate must be positive, got {rate_hz}")
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    rng = as_generator(rng)
+    return np.cumsum(rng.exponential(1.0 / rate_hz, n))
+
+
+def constant_arrivals(rate_hz: float, n: int) -> np.ndarray:
+    """``n`` perfectly periodic arrivals (deterministic D/·/1 input)."""
+    if rate_hz <= 0:
+        raise ValueError(f"arrival rate must be positive, got {rate_hz}")
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    return (np.arange(n, dtype=np.float64) + 1.0) / rate_hz
+
+
+def bursty_arrivals(
+    base_rate_hz: float,
+    burst_rate_hz: float,
+    n: int,
+    mean_phase_s: float = 0.5,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Markov-modulated Poisson arrivals: quiet/burst phases alternate.
+
+    The process switches between a ``base_rate_hz`` phase and a
+    ``burst_rate_hz`` phase; phase durations are exponential with mean
+    ``mean_phase_s``.  Same long-run mean rate as a Poisson stream at the
+    average of the two rates, but with the clumped arrivals that separate
+    tail latency from mean latency in practice.
+    """
+    if base_rate_hz <= 0 or burst_rate_hz <= 0:
+        raise ValueError("arrival rates must be positive")
+    if burst_rate_hz < base_rate_hz:
+        raise ValueError(
+            f"burst rate {burst_rate_hz} must be >= base rate {base_rate_hz}"
+        )
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if mean_phase_s <= 0:
+        raise ValueError(f"mean_phase_s must be positive, got {mean_phase_s}")
+    rng = as_generator(rng)
+    out = np.empty(n, dtype=np.float64)
+    t = 0.0
+    produced = 0
+    in_burst = False
+    while produced < n:
+        rate = burst_rate_hz if in_burst else base_rate_hz
+        phase_end = t + rng.exponential(mean_phase_s)
+        while produced < n:
+            t_next = t + rng.exponential(1.0 / rate)
+            if t_next > phase_end:
+                # Memoryless: restart the draw at the phase boundary.
+                t = phase_end
+                break
+            t = t_next
+            out[produced] = t
+            produced += 1
+        in_burst = not in_burst
+    return out
+
+
+def trace_arrivals(times_s) -> np.ndarray:
+    """Validate and normalize a recorded arrival-time trace.
+
+    Accepts any sequence of non-negative, non-decreasing timestamps
+    (seconds) — e.g. parsed from an access log — and returns it as a
+    float64 array ready for :meth:`repro.serving.Server.serve`.
+    """
+    times = np.asarray(times_s, dtype=np.float64)
+    if times.ndim != 1 or times.size == 0:
+        raise ValueError("trace must be a non-empty 1-D sequence of timestamps")
+    if times[0] < 0:
+        raise ValueError(f"timestamps must be non-negative, got {times[0]}")
+    if np.any(np.diff(times) < 0):
+        raise ValueError("trace timestamps must be non-decreasing")
+    return times
+
+
+def zipf_popularity(
+    n_items: int,
+    size: int,
+    exponent: float = 1.1,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Sample ``size`` item indices with Zipf-like popularity skew.
+
+    Item ``i`` is drawn with probability proportional to ``(i+1)**-exponent``
+    — a few hot items dominate, as in real request streams.  The returned
+    indices select which image each request carries, so repeated requests
+    create result-cache hits.
+    """
+    if n_items <= 0:
+        raise ValueError(f"n_items must be positive, got {n_items}")
+    if size <= 0:
+        raise ValueError(f"size must be positive, got {size}")
+    if exponent < 0:
+        raise ValueError(f"exponent must be non-negative, got {exponent}")
+    rng = as_generator(rng)
+    weights = (np.arange(1, n_items + 1, dtype=np.float64)) ** -exponent
+    return rng.choice(n_items, size=size, p=weights / weights.sum())

@@ -1,0 +1,326 @@
+"""The serving engine: queue → micro-batcher → worker pool → report.
+
+:class:`Server` turns the passive M/D/1 analysis of
+:mod:`repro.hw.serving` into an executable engine.  It replays an
+arrival trace against a real model backend on a *virtual clock*:
+
+1. each arriving request is hashed and checked against the LRU result
+   cache — hits bypass the queue entirely;
+2. misses enter the :class:`~repro.serving.batcher.MicroBatcher`, which
+   flushes on a size or deadline trigger;
+3. a flushed batch is dispatched to the earliest-free worker of a
+   ``n_workers``-server pool; dynamic backends first route the batch
+   into easy/hard sub-batches (hard → full-exit path);
+4. service time follows the backend's calibrated device timing model,
+   while predictions come from running the real model — fanned out over
+   :func:`repro.parallel.pool.parallel_map` once the timeline is fixed.
+
+Everything observable lands in a :class:`ServingReport` (throughput,
+sojourn percentiles, cache hit rate, batch-size histogram, accuracy)
+that renders through :mod:`repro.eval.tables` and feeds the combined
+experiment report.
+"""
+
+from __future__ import annotations
+
+import functools
+import heapq
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.eval.tables import Table
+from repro.parallel.pool import parallel_map
+from repro.serving.backends import InferenceBackend
+from repro.serving.batcher import MicroBatcher
+from repro.serving.cache import LRUResultCache, image_key
+from repro.serving.request import Request, Route
+
+__all__ = ["Server", "ServingReport", "comparison_table"]
+
+
+def _predict_batch(backend, images, task):
+    """Module-level map target (picklable for the process pool).
+
+    ``backend`` and the full ``images`` array travel once per chunk via
+    the partial; per-task payloads are just (indices, decision).
+    """
+    indices, decision = task
+    return backend.predict(images[indices], decision)
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Everything one serving run produced, ready for tables and asserts."""
+
+    backend: str
+    scenario: str
+    n_requests: int
+    n_workers: int
+    duration_s: float  # makespan: first arrival → last completion
+    throughput_rps: float
+    arrival_rate_hz: float
+    mean_s: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    max_s: float
+    utilization: float  # busy fraction of the worker pool
+    mean_batch_size: float
+    batch_histogram: dict[int, int] = field(repr=False)
+    n_easy: int = 0
+    n_hard: int = 0
+    n_cached: int = 0
+    cache_hit_rate: float = 0.0
+    accuracy: float = float("nan")
+
+    def summary(self) -> str:
+        return (
+            f"[{self.backend}/{self.scenario}] {self.throughput_rps:.0f} req/s | "
+            f"p50 {self.p50_s * 1e3:.2f} ms | p99 {self.p99_s * 1e3:.2f} ms | "
+            f"batch {self.mean_batch_size:.1f} | cache {self.cache_hit_rate:.0%} | "
+            f"util {self.utilization:.0%}"
+        )
+
+    @property
+    def hard_fraction(self) -> float:
+        routed = self.n_easy + self.n_hard
+        return self.n_hard / routed if routed else 0.0
+
+
+def comparison_table(reports: list[ServingReport], title: str = "") -> Table:
+    """Render several serving runs side by side (one row per backend)."""
+    table = Table(
+        headers=[
+            "backend",
+            "req/s",
+            "p50 (ms)",
+            "p95 (ms)",
+            "p99 (ms)",
+            "batch",
+            "cache",
+            "hard",
+            "util",
+            "acc",
+        ],
+        title=title,
+    )
+    for r in reports:
+        table.add_row(
+            r.backend,
+            f"{r.throughput_rps:.0f}",
+            f"{r.p50_s * 1e3:.2f}",
+            f"{r.p95_s * 1e3:.2f}",
+            f"{r.p99_s * 1e3:.2f}",
+            f"{r.mean_batch_size:.1f}",
+            f"{r.cache_hit_rate:.0%}",
+            f"{r.hard_fraction:.0%}",
+            f"{r.utilization:.0%}",
+            "-" if np.isnan(r.accuracy) else f"{r.accuracy:.1%}",
+        )
+    return table
+
+
+class Server:
+    """Batched inference server over a virtual clock.
+
+    Parameters
+    ----------
+    backend:
+        An :class:`~repro.serving.backends.InferenceBackend` (model +
+        device timing).
+    max_batch_size, max_wait_s:
+        Micro-batcher triggers (see :class:`~repro.serving.batcher.MicroBatcher`).
+        ``max_wait_s=0`` disables batching (pure FIFO).
+    n_workers:
+        Parallel model replicas; a flushed batch goes to the
+        earliest-free worker.  Predictions are likewise fanned out over
+        a process pool.
+    cache_capacity:
+        LRU result-cache entries; ``0`` disables caching.
+    cache_lookup_s:
+        Virtual cost of answering from the cache (hash + dictionary hit).
+    """
+
+    def __init__(
+        self,
+        backend: InferenceBackend,
+        max_batch_size: int = 32,
+        max_wait_s: float = 0.005,
+        n_workers: int = 1,
+        cache_capacity: int = 0,
+        cache_lookup_s: float = 2e-5,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if cache_lookup_s < 0:
+            raise ValueError(f"cache_lookup_s must be >= 0, got {cache_lookup_s}")
+        # Fail fast on bad batcher/cache parameters (their ctors validate).
+        MicroBatcher(max_batch_size, max_wait_s)
+        LRUResultCache(cache_capacity)
+        self.backend = backend
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_s = float(max_wait_s)
+        self.n_workers = int(n_workers)
+        self.cache_capacity = int(cache_capacity)
+        self.cache_lookup_s = float(cache_lookup_s)
+
+    # ------------------------------------------------------------------ #
+    # serving loop
+    # ------------------------------------------------------------------ #
+    def serve(
+        self,
+        images: np.ndarray,
+        arrival_s: np.ndarray,
+        labels: np.ndarray | None = None,
+        scenario: str = "trace",
+    ) -> ServingReport:
+        """Replay one arrival trace end to end and report.
+
+        ``images[i]`` arrives at ``arrival_s[i]`` (non-decreasing).
+        ``labels`` (optional) adds end-to-end accuracy to the report —
+        predictions are real model outputs, so this is a genuine
+        served-traffic accuracy, not a replayed number.
+        """
+        images = np.asarray(images)
+        arrival_s = np.asarray(arrival_s, dtype=np.float64)
+        if images.shape[0] != arrival_s.shape[0]:
+            raise ValueError(
+                f"{images.shape[0]} images vs {arrival_s.shape[0]} arrival times"
+            )
+        if arrival_s.size == 0:
+            raise ValueError("cannot serve an empty request stream")
+        if np.any(np.diff(arrival_s) < 0):
+            raise ValueError("arrival times must be non-decreasing")
+
+        requests = [Request(i, float(t)) for i, t in enumerate(arrival_s)]
+        batcher = MicroBatcher(self.max_batch_size, self.max_wait_s)
+        cache = LRUResultCache(self.cache_capacity)
+        workers = [0.0] * self.n_workers
+        batches: list[tuple[list[int], object]] = []  # (indices, RouteDecision|None)
+        busy_s = 0.0
+        inserts: list[tuple[float, str, int]] = []  # completion-time heap
+
+        keys = None
+        if self.cache_capacity > 0:
+            keys = [image_key(images[i]) for i in range(images.shape[0])]
+
+        def dispatch(indices: list[int], flush_s: float) -> None:
+            nonlocal busy_s
+            decision = self.backend.route(images[indices])
+            n_hard = decision.n_hard if decision is not None else 0
+            service = self.backend.batch_service_s(len(indices), n_hard)
+            w = min(range(self.n_workers), key=workers.__getitem__)
+            start = max(flush_s, workers[w])
+            completion = start + service
+            workers[w] = completion
+            busy_s += service
+            for pos, idx in enumerate(indices):
+                req = requests[idx]
+                req.completion_s = completion
+                req.batch_size = len(indices)
+                if decision is None:
+                    req.route = Route.BATCHED
+                else:
+                    req.route = Route.EASY if decision.easy[pos] else Route.HARD
+                if keys is not None:
+                    heapq.heappush(inserts, (completion, keys[idx], idx))
+            batches.append((indices, decision))
+
+        for i, req in enumerate(requests):
+            now = req.arrival_s
+            # Deadline-triggered flushes that fire before this arrival.
+            while batcher and batcher.deadline_s <= now:
+                flush_at = batcher.deadline_s
+                dispatch(batcher.flush(), flush_at)
+            if keys is not None:
+                # Results become visible at their batch's completion time.
+                while inserts and inserts[0][0] <= now:
+                    _, key, src = heapq.heappop(inserts)
+                    cache.put(key, src)
+                hit = cache.get(keys[i])
+                if hit is not None:
+                    req.route = Route.CACHED
+                    req.source_id = int(hit)
+                    req.completion_s = now + self.cache_lookup_s
+                    continue
+            batcher.add(i, now)
+            if batcher.should_flush(now):
+                dispatch(batcher.flush(), now)
+        while batcher:
+            flush_at = batcher.deadline_s
+            dispatch(batcher.flush(), flush_at)
+
+        self._fill_predictions(requests, batches, images)
+        return self._report(
+            requests, batches, arrival_s, labels, cache, busy_s, scenario
+        )
+
+    # ------------------------------------------------------------------ #
+    # real inference over the worker pool
+    # ------------------------------------------------------------------ #
+    def _fill_predictions(self, requests, batches, images) -> None:
+        """Run the backend's real model over every dispatched batch.
+
+        The virtual timeline is already fixed, so batches are
+        embarrassingly parallel — they fan out over the fork-based
+        process pool with ordered gather.  Each batch carries its
+        RouteDecision from dispatch, so dynamic backends reuse the
+        routing pass instead of repeating it.  One chunk per worker
+        keeps the backend (model weights) from being re-pickled per
+        batch.
+        """
+        chunksize = max(1, math.ceil(len(batches) / self.n_workers))
+        preds_per_batch = parallel_map(
+            functools.partial(_predict_batch, self.backend, images),
+            batches,
+            self.n_workers,
+            chunksize=chunksize,
+        )
+        for (indices, _), preds in zip(batches, preds_per_batch):
+            for pos, idx in enumerate(indices):
+                requests[idx].prediction = int(preds[pos])
+        for req in requests:
+            if req.route == Route.CACHED:
+                req.prediction = requests[req.source_id].prediction
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def _report(
+        self, requests, batches, arrival_s, labels, cache, busy_s, scenario
+    ) -> ServingReport:
+        sojourn = np.array([r.sojourn_s for r in requests])
+        makespan = max(r.completion_s for r in requests) - float(arrival_s[0])
+        span = float(arrival_s[-1] - arrival_s[0])
+        histogram = dict(sorted(Counter(len(indices) for indices, _ in batches).items()))
+        n_batched = sum(k * c for k, c in histogram.items())
+        mean_batch = n_batched / len(batches) if batches else 0.0
+        accuracy = float("nan")
+        if labels is not None:
+            preds = np.array([r.prediction for r in requests])
+            accuracy = float((preds == np.asarray(labels)).mean())
+        return ServingReport(
+            backend=self.backend.name,
+            scenario=scenario,
+            n_requests=len(requests),
+            n_workers=self.n_workers,
+            duration_s=makespan,
+            throughput_rps=len(requests) / makespan if makespan > 0 else float("inf"),
+            arrival_rate_hz=(len(requests) - 1) / span if span > 0 else float("inf"),
+            mean_s=float(sojourn.mean()),
+            p50_s=float(np.percentile(sojourn, 50)),
+            p95_s=float(np.percentile(sojourn, 95)),
+            p99_s=float(np.percentile(sojourn, 99)),
+            max_s=float(sojourn.max()),
+            utilization=busy_s / (self.n_workers * makespan) if makespan > 0 else 0.0,
+            mean_batch_size=mean_batch,
+            batch_histogram=histogram,
+            n_easy=sum(r.route == Route.EASY for r in requests),
+            n_hard=sum(r.route == Route.HARD for r in requests),
+            n_cached=sum(r.route == Route.CACHED for r in requests),
+            cache_hit_rate=cache.hit_rate,
+            accuracy=accuracy,
+        )

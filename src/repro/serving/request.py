@@ -1,0 +1,69 @@
+"""Request/response records flowing through the serving engine.
+
+A :class:`Request` is one inference job: an image plus its arrival time
+on the engine's (virtual) clock.  The engine fills in the outcome fields
+— completion time, route taken, batch it rode in — so a finished request
+doubles as its own trace record; :class:`~repro.serving.engine.ServingReport`
+is computed entirely from the finished request list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Request", "Route"]
+
+
+class Route:
+    """How a request was ultimately served (string constants)."""
+
+    BATCHED = "batched"  # ran through the model inside a micro-batch
+    CACHED = "cached"  # answered from the LRU result cache
+    EASY = "easy"  # batched, took the early/lightweight path
+    HARD = "hard"  # batched, entropy-flagged → full-exit path
+
+    ALL = (BATCHED, CACHED, EASY, HARD)
+
+
+@dataclass
+class Request:
+    """One inference request and (after serving) its outcome.
+
+    Attributes
+    ----------
+    req_id:
+        Position in the submission order (also indexes the image array).
+    arrival_s:
+        Arrival time on the engine clock, seconds.
+    completion_s:
+        Filled by the engine: when the response left the server.
+    prediction:
+        Filled by the engine: the predicted class label.
+    route:
+        One of :class:`Route` — cache hit, easy path, or hard path.
+    batch_size:
+        Size of the micro-batch this request was served in (0 for cache
+        hits, which bypass the batcher entirely).
+    source_id:
+        For cache hits: the ``req_id`` whose stored result answered this
+        request; ``-1`` otherwise.
+    """
+
+    req_id: int
+    arrival_s: float
+    completion_s: float = field(default=float("nan"))
+    prediction: int = -1
+    route: str = Route.BATCHED
+    batch_size: int = 0
+    source_id: int = -1
+
+    @property
+    def sojourn_s(self) -> float:
+        """Time the request spent in the system (queue + service)."""
+        return self.completion_s - self.arrival_s
+
+    @property
+    def done(self) -> bool:
+        return not np.isnan(self.completion_s)

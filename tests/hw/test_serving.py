@@ -70,6 +70,47 @@ class TestBimodalSampler:
             bimodal_service_sampler(-1.0, 0.01, 0.5)
 
 
+class TestEdgeCases:
+    def test_zero_rate_arrivals_rejected(self):
+        """rate = 0 would mean requests never arrive — explicit error."""
+        with pytest.raises(ValueError, match="arrival rate"):
+            simulate_serving(0.002, arrival_rate_hz=0.0)
+
+    def test_offered_load_exactly_one_is_unstable(self):
+        """rho == 1 has no stationary distribution; the boundary must be
+        rejected, not just rho > 1."""
+        with pytest.raises(ValueError, match="unstable"):
+            simulate_serving(0.01, arrival_rate_hz=100.0)
+
+    def test_offered_load_just_below_one_accepted(self):
+        stats = simulate_serving(0.0099, arrival_rate_hz=100.0, n_requests=500, rng=0)
+        assert stats.n_requests == 500
+
+    def test_sampler_driven_overload_rejected(self):
+        """Instability is judged on the sampler's realized mean, not a
+        nominal constant."""
+        sampler = bimodal_service_sampler(0.004, 0.04, exit_rate=0.5)  # mean 22 ms
+        with pytest.raises(ValueError, match="unstable"):
+            simulate_serving(sampler, arrival_rate_hz=50.0, rng=0)
+
+    def test_bimodal_sampler_boundary_exit_rates(self):
+        assert bimodal_service_sampler(0.001, 0.01, 0.0) is not None
+        assert bimodal_service_sampler(0.001, 0.01, 1.0) is not None
+        with pytest.raises(ValueError):
+            bimodal_service_sampler(0.001, 0.01, -1e-9)
+        with pytest.raises(ValueError):
+            bimodal_service_sampler(0.001, 0.01, 1.0 + 1e-9)
+
+    def test_bimodal_sampler_zero_full_path_rejected(self):
+        with pytest.raises(ValueError):
+            bimodal_service_sampler(0.001, 0.0, 0.5)
+
+    def test_single_request_sojourn_is_service_time(self):
+        stats = simulate_serving(0.003, arrival_rate_hz=5.0, n_requests=1, rng=0)
+        assert stats.mean_s == pytest.approx(0.003)
+        assert stats.max_s == pytest.approx(0.003)
+
+
 class TestCBNetVsBranchyNetTails:
     def test_cbnet_tail_advantage_exceeds_mean_advantage(self):
         """The deployment insight: constant service (CBNet) beats bimodal

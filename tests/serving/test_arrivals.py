@@ -1,0 +1,122 @@
+"""Arrival-time and popularity generators."""
+
+import numpy as np
+import pytest
+
+from repro.serving.arrivals import (
+    bursty_arrivals,
+    constant_arrivals,
+    poisson_arrivals,
+    trace_arrivals,
+    zipf_popularity,
+)
+
+
+class TestPoissonArrivals:
+    def test_mean_rate_matches(self):
+        times = poisson_arrivals(100.0, 50_000, rng=0)
+        assert np.all(np.diff(times) >= 0)
+        assert 50_000 / times[-1] == pytest.approx(100.0, rel=0.02)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0.0, 10)
+        with pytest.raises(ValueError):
+            poisson_arrivals(10.0, 0)
+
+
+class TestConstantArrivals:
+    def test_periodic(self):
+        times = constant_arrivals(50.0, 5)
+        np.testing.assert_allclose(np.diff(times), 0.02)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            constant_arrivals(-1.0, 5)
+
+
+class TestBurstyArrivals:
+    def test_sorted_and_sized(self):
+        times = bursty_arrivals(50.0, 500.0, 2000, rng=1)
+        assert times.shape == (2000,)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_clumpier_than_poisson(self):
+        """Burst phases inflate inter-arrival variance vs a Poisson
+        stream at the same mean rate."""
+        bursty = bursty_arrivals(50.0, 500.0, 20_000, rng=2)
+        mean_rate = 20_000 / bursty[-1]
+        poisson = poisson_arrivals(mean_rate, 20_000, rng=2)
+        cv = lambda t: np.diff(t).std() / np.diff(t).mean()
+        assert cv(bursty) > cv(poisson) * 1.1
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            bursty_arrivals(100.0, 50.0, 10)  # burst < base
+        with pytest.raises(ValueError):
+            bursty_arrivals(0.0, 50.0, 10)
+        with pytest.raises(ValueError):
+            bursty_arrivals(10.0, 50.0, 10, mean_phase_s=0.0)
+
+
+class TestTraceArrivals:
+    def test_valid_trace_passes_through(self):
+        times = trace_arrivals([0.0, 0.5, 0.5, 2.0])
+        assert times.dtype == np.float64
+        np.testing.assert_allclose(times, [0.0, 0.5, 0.5, 2.0])
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            trace_arrivals([0.0, 2.0, 1.0])
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            trace_arrivals([-0.1, 0.5])
+
+    def test_rejects_empty_and_2d(self):
+        with pytest.raises(ValueError):
+            trace_arrivals([])
+        with pytest.raises(ValueError):
+            trace_arrivals([[0.0, 1.0]])
+
+    def test_feeds_the_server(self):
+        """A hand-written trace drives Server.serve end to end."""
+        from repro.serving.backends import BatchTiming, InferenceBackend
+        from repro.serving.engine import Server
+
+        class Flat(InferenceBackend):
+            name = "flat"
+
+            def __init__(self):
+                super().__init__(BatchTiming(overhead_s=0.001, per_item_s=0.001))
+
+            def predict(self, images, decision=None):
+                return np.zeros(images.shape[0], dtype=np.int64)
+
+        images = np.zeros((4, 1, 2, 2), dtype=np.float32)
+        report = Server(Flat(), max_batch_size=2, max_wait_s=0.01).serve(
+            images, trace_arrivals([0.0, 0.0, 0.5, 0.9])
+        )
+        assert report.n_requests == 4
+        assert report.batch_histogram == {1: 2, 2: 1}
+
+
+class TestZipfPopularity:
+    def test_skewed_towards_low_indices(self):
+        draws = zipf_popularity(100, 50_000, exponent=1.1, rng=3)
+        assert draws.min() >= 0 and draws.max() < 100
+        counts = np.bincount(draws, minlength=100)
+        assert counts[0] > counts[50] > 0
+
+    def test_exponent_zero_is_uniform(self):
+        draws = zipf_popularity(10, 50_000, exponent=0.0, rng=4)
+        counts = np.bincount(draws, minlength=10)
+        assert counts.min() > 0.8 * counts.max()
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            zipf_popularity(0, 10)
+        with pytest.raises(ValueError):
+            zipf_popularity(10, 0)
+        with pytest.raises(ValueError):
+            zipf_popularity(10, 10, exponent=-1.0)

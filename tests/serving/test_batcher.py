@@ -1,0 +1,123 @@
+"""Micro-batcher flush triggers (size, deadline) and the offline oracle."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.parallel.batcher import plan_batches
+from repro.serving.batcher import MicroBatcher
+
+
+class TestSizeTrigger:
+    def test_flushes_exactly_at_max_batch_size(self):
+        b = MicroBatcher(max_batch_size=3, max_wait_s=1.0)
+        b.add(0, 0.0)
+        b.add(1, 0.0)
+        assert not b.should_flush(0.0)
+        b.add(2, 0.0)
+        assert b.should_flush(0.0)
+        assert b.flush() == [0, 1, 2]
+        assert len(b) == 0
+
+    def test_add_past_capacity_raises(self):
+        b = MicroBatcher(max_batch_size=1, max_wait_s=1.0)
+        b.add(0, 0.0)
+        with pytest.raises(RuntimeError):
+            b.add(1, 0.0)
+
+    def test_size_one_flushes_every_request(self):
+        b = MicroBatcher(max_batch_size=1, max_wait_s=1.0)
+        for i in range(5):
+            b.add(i, float(i))
+            assert b.should_flush(float(i))
+            assert b.flush() == [i]
+
+
+class TestDeadlineTrigger:
+    def test_deadline_is_oldest_plus_max_wait(self):
+        b = MicroBatcher(max_batch_size=10, max_wait_s=0.5)
+        b.add(0, 1.0)
+        b.add(1, 1.3)  # later arrivals do not extend the deadline
+        assert b.deadline_s == pytest.approx(1.5)
+
+    def test_flush_fires_at_deadline_not_before(self):
+        b = MicroBatcher(max_batch_size=10, max_wait_s=0.5)
+        b.add(0, 1.0)
+        assert not b.should_flush(1.49)
+        assert b.should_flush(1.5)
+        assert b.should_flush(2.0)
+
+    def test_empty_batcher_never_flushes(self):
+        b = MicroBatcher(max_batch_size=10, max_wait_s=0.5)
+        assert b.deadline_s == math.inf
+        assert not b.should_flush(1e9)
+        assert not b
+
+    def test_deadline_resets_after_flush(self):
+        b = MicroBatcher(max_batch_size=10, max_wait_s=0.5)
+        b.add(0, 1.0)
+        b.flush()
+        assert b.deadline_s == math.inf
+        b.add(1, 5.0)
+        assert b.deadline_s == pytest.approx(5.5)
+
+    def test_zero_wait_means_unbatched_fifo(self):
+        b = MicroBatcher(max_batch_size=10, max_wait_s=0.0)
+        b.add(0, 2.0)
+        assert b.should_flush(2.0)
+
+
+class TestValidation:
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(max_wait_s=-0.1)
+
+
+class TestPlanBatchesOracle:
+    """plan_batches is the trace-level mirror of the online batcher."""
+
+    def test_known_trace(self):
+        # size 2 trigger at t=0.0/0.1; deadline trigger for the lone 1.0.
+        batches = plan_batches([0.0, 0.1, 1.0], max_batch_size=2, max_wait_s=0.5)
+        assert batches == [[0, 1], [2]]
+
+    def test_deadline_splits_sparse_trace(self):
+        batches = plan_batches([0.0, 1.0, 2.0], max_batch_size=10, max_wait_s=0.5)
+        assert batches == [[0], [1], [2]]
+
+    def test_covers_all_indices_once(self):
+        rng = np.random.default_rng(0)
+        times = np.cumsum(rng.exponential(0.01, 200))
+        batches = plan_batches(times, max_batch_size=8, max_wait_s=0.02)
+        flat = [i for batch in batches for i in batch]
+        assert flat == list(range(200))
+        assert all(1 <= len(batch) <= 8 for batch in batches)
+
+    def test_matches_online_batcher_when_server_always_ready(self):
+        """Replaying the trace through MicroBatcher with the engine's
+        flush discipline reproduces plan_batches exactly."""
+        rng = np.random.default_rng(1)
+        times = np.cumsum(rng.exponential(0.005, 300))
+        max_size, max_wait = 4, 0.01
+
+        online = []
+        b = MicroBatcher(max_size, max_wait)
+        for i, t in enumerate(times):
+            while b and b.deadline_s <= t:
+                online.append(b.flush())
+            b.add(i, t)
+            if b.should_flush(t):
+                online.append(b.flush())
+        if b:
+            online.append(b.flush())
+
+        assert online == plan_batches(times, max_size, max_wait)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            plan_batches([0.0], max_batch_size=0, max_wait_s=0.1)
+        with pytest.raises(ValueError):
+            plan_batches([0.0], max_batch_size=2, max_wait_s=-1.0)

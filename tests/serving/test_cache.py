@@ -1,0 +1,78 @@
+"""LRU result cache: keys, eviction order, counters."""
+
+import numpy as np
+import pytest
+
+from repro.serving.cache import LRUResultCache, image_key
+
+
+class TestImageKey:
+    def test_identical_content_same_key(self):
+        a = np.arange(12, dtype=np.float32).reshape(1, 3, 4)
+        b = a.copy()
+        assert image_key(a) == image_key(b)
+
+    def test_different_content_different_key(self):
+        a = np.zeros((1, 4, 4), dtype=np.float32)
+        b = a.copy()
+        b[0, 0, 0] = 1e-6
+        assert image_key(a) != image_key(b)
+
+    def test_shape_sensitive(self):
+        a = np.zeros(16, dtype=np.float32)
+        assert image_key(a) != image_key(a.reshape(4, 4))
+
+    def test_dtype_sensitive(self):
+        a = np.zeros(8, dtype=np.float32)
+        assert image_key(a) != image_key(a.astype(np.float64))
+
+    def test_non_contiguous_view_matches_copy(self):
+        base = np.arange(32, dtype=np.float32).reshape(4, 8)
+        view = base[:, ::2]
+        assert image_key(view) == image_key(view.copy())
+
+
+class TestLRUResultCache:
+    def test_hit_and_miss_counters(self):
+        cache = LRUResultCache(capacity=2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_evicts_least_recently_used(self):
+        cache = LRUResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # bump 'a'
+        cache.put("c", 3)  # evicts 'b'
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.evictions == 1
+
+    def test_put_refreshes_recency(self):
+        cache = LRUResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, no eviction
+        cache.put("c", 3)  # evicts 'b'
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_capacity_bound_holds(self):
+        cache = LRUResultCache(capacity=3)
+        for i in range(50):
+            cache.put(str(i), i)
+        assert len(cache) == 3
+        assert cache.evictions == 47
+
+    def test_zero_capacity_disables_storage(self):
+        cache = LRUResultCache(capacity=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+        assert cache.hit_rate == 0.0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUResultCache(capacity=-1)

@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.hw",
     "repro.parallel",
+    "repro.serving",
     "repro.eval",
     "repro.experiments",
     "repro.utils",

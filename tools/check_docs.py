@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Documentation health check (the `make docs-check` target).
+
+Three gates, all offline and fast:
+
+1. the documentation suite exists (README.md, docs/architecture.md);
+2. every ```python code block in README.md compiles (syntax-checks the
+   quickstart/serving tour without paying for training — `make test`
+   and the examples exercise them for real);
+3. docstring coverage: every public symbol (``__all__``) of every
+   ``repro`` (sub)package that is a function or class carries a
+   docstring, as does every module.
+
+With ``--run``, the README python blocks are additionally *executed* in
+order in one shared namespace (later blocks use names from earlier
+ones).  The first run trains the quickstart pipeline (minutes); cached
+runs take seconds — hence opt-in (`make docs-run`).
+
+Exits non-zero with a listing of violations.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+REQUIRED_DOCS = ("README.md", "docs/architecture.md")
+
+
+def check_docs_exist() -> list[str]:
+    return [
+        f"missing documentation file: {rel}"
+        for rel in REQUIRED_DOCS
+        if not (REPO / rel).exists()
+    ]
+
+
+def check_readme_code_blocks(run: bool = False) -> list[str]:
+    errors = []
+    readme = REPO / "README.md"
+    if not readme.exists():
+        return errors  # reported by check_docs_exist
+    blocks = re.findall(r"```python\n(.*?)```", readme.read_text(), re.DOTALL)
+    if not blocks:
+        errors.append("README.md contains no ```python blocks")
+    compiled = []
+    for i, block in enumerate(blocks):
+        try:
+            compiled.append(compile(block, f"README.md:python-block-{i}", "exec"))
+        except SyntaxError as exc:
+            errors.append(f"README.md python block {i} does not compile: {exc}")
+    if run and not errors:
+        namespace: dict = {}
+        for i, code in enumerate(compiled):
+            print(f"-- running README python block {i} --")
+            try:
+                exec(code, namespace)
+            except Exception as exc:  # noqa: BLE001 — report, don't crash
+                errors.append(f"README.md python block {i} failed at runtime: {exc!r}")
+                break
+    return errors
+
+
+def iter_modules() -> list[str]:
+    import repro
+
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(info.name)
+    return names
+
+
+def check_docstrings() -> list[str]:
+    errors = []
+    for name in iter_modules():
+        module = importlib.import_module(name)
+        if not (module.__doc__ or "").strip():
+            errors.append(f"{name}: module has no docstring")
+        for symbol in getattr(module, "__all__", []):
+            obj = getattr(module, symbol, None)
+            if obj is None:
+                errors.append(f"{name}.{symbol}: listed in __all__ but missing")
+                continue
+            if not (inspect.isfunction(obj) or inspect.isclass(obj)):
+                continue  # constants/instances need no docstring
+            if not (inspect.getdoc(obj) or "").strip():
+                errors.append(f"{name}.{symbol}: public symbol has no docstring")
+    return errors
+
+
+def main() -> int:
+    run = "--run" in sys.argv[1:]
+    errors = check_docs_exist() + check_readme_code_blocks(run=run) + check_docstrings()
+    if errors:
+        print(f"docs-check: {len(errors)} problem(s)")
+        for err in errors:
+            print(f"  - {err}")
+        return 1
+    n_modules = len(iter_modules())
+    print(f"docs-check: OK ({n_modules} modules, all public symbols documented)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
