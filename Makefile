@@ -3,6 +3,8 @@
 #   make test         tier-1 unit/integration suite (the CI gate)
 #   make bench-smoke  fast benchmark subset, incl. the serving engine
 #   make bench        full benchmark suite (regenerates benchmarks/results/)
+#   make bench-record record BENCH_<n>.json medians (substrate + serving)
+#   make bench-check  fail on >15% median regression vs last BENCH_<n>.json
 #   make docs-check   README code blocks compile + docstring coverage
 #   make docs-run     additionally *execute* the README blocks (trains on
 #                     first run; disk-cached after)
@@ -11,7 +13,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench docs-check docs-run lint
+.PHONY: test bench-smoke bench bench-record bench-check docs-check docs-run lint
 
 test:
 	$(PYTHON) -m pytest tests -x -q
@@ -23,6 +25,12 @@ bench-smoke:
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q
+
+bench-record:
+	$(PYTHON) tools/bench_compare.py record
+
+bench-check:
+	$(PYTHON) tools/bench_compare.py check
 
 docs-check:
 	$(PYTHON) tools/check_docs.py

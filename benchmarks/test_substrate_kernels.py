@@ -4,12 +4,16 @@ Not a paper figure — these guard the performance of the kernels every
 experiment runs on (im2col conv, GEMM dense, pooling, AE training step),
 so substrate regressions surface in benchmark history rather than as
 mysteriously slow experiment reruns.
+
+Inference benchmarks run through the compiled fast path
+(:mod:`repro.nn.fastpath`) — the path serving traffic takes — with
+``*_reference`` twins pinning the autograd path, so every recorded
+``BENCH_<n>.json`` carries the fastpath-vs-reference ratio.
 """
 
 import numpy as np
-import pytest
 
-from repro.nn import Tensor, functional as F, no_grad
+from repro.nn import Tensor, fastpath, functional as F, no_grad
 from repro.nn.layers import Conv2d, Linear
 from repro.models import BranchyLeNet, LeNet
 
@@ -17,6 +21,20 @@ rng = np.random.default_rng(0)
 
 
 def test_conv2d_forward(benchmark):
+    """Single conv layer through the compiled plan (cached im2col indices,
+    fused bias+ReLU-free GEMM, arena buffers)."""
+    x = rng.random((64, 4, 12, 12), dtype=np.float32)
+    conv = Conv2d(4, 20, kernel_size=5, rng=np.random.default_rng(0))
+    plan = fastpath.compile_plan(conv, x.shape)
+    with no_grad():
+        ref = conv(Tensor(x)).data
+    out = benchmark(plan.run, x)
+    assert out.shape == (64, 20, 8, 8)
+    np.testing.assert_allclose(out, ref, atol=1e-5)
+
+
+def test_conv2d_forward_reference(benchmark):
+    """The seed autograd conv path — the denominator of the speedup claim."""
     x = Tensor(rng.random((64, 4, 12, 12), dtype=np.float32))
     conv = Conv2d(4, 20, kernel_size=5, rng=np.random.default_rng(0))
     with no_grad():
@@ -57,6 +75,17 @@ def test_lenet_batch_inference(benchmark):
     model = LeNet(rng=0)
     images = rng.random((256, 1, 28, 28), dtype=np.float32)
     preds = benchmark(model.predict, images)
+    assert preds.shape == (256,)
+    # The two paths reduce GEMMs in different orders, so near-tied logits
+    # may flip argmax on some BLAS builds; logits-level equivalence at
+    # atol=1e-5 is asserted by tests/nn/test_fastpath.py.
+    assert (preds == model.predict(images, fastpath=False)).mean() > 0.99
+
+
+def test_lenet_batch_inference_reference(benchmark):
+    model = LeNet(rng=0)
+    images = rng.random((256, 1, 28, 28), dtype=np.float32)
+    preds = benchmark(model.predict, images, fastpath=False)
     assert preds.shape == (256,)
 
 

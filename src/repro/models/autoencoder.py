@@ -27,7 +27,7 @@ A ``sigmoid`` head is provided as an ablation (see DESIGN.md §5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -147,15 +147,34 @@ class ConvertingAutoencoder(Module):
         """L1 penalty recorded by the last training forward pass."""
         return self.activity_reg.pop_penalty()
 
-    def convert(self, images: np.ndarray, batch_size: int = 512) -> np.ndarray:
-        """Inference: NCHW or flat images → converted flat images (N, 784)."""
+    def convert(
+        self, images: np.ndarray, batch_size: int = 512, fastpath: bool = True
+    ) -> np.ndarray:
+        """Inference: NCHW or flat images → converted flat images (N, 784).
+
+        ``fastpath=True`` (default) runs the encoder+decoder through a
+        compiled plan (fused Linear+ReLU steps, allocation-free softmax
+        head); the activity regularizer is a no-op in eval mode and is
+        elided from the plan.
+        """
         self.eval()
-        flat = images.reshape(images.shape[0], -1).astype(np.float32)
+        flat = np.ascontiguousarray(
+            images.reshape(images.shape[0], -1), dtype=np.float32
+        )
+        if flat.shape[1] != self.spec.input_dim:
+            raise ValueError(
+                f"autoencoder expects (N, {self.spec.input_dim}), got {flat.shape}"
+            )
         out = np.empty_like(flat)
         with no_grad():
             for start in range(0, flat.shape[0], batch_size):
                 sl = slice(start, start + batch_size)
-                out[sl] = self.forward(Tensor(flat[sl])).data
+                if fastpath:
+                    out[sl] = self.inference_plan(
+                        flat[sl].shape, (self.encoder, self.decoder), key="full"
+                    ).run(flat[sl])
+                else:
+                    out[sl] = self.forward(Tensor(flat[sl])).data
         return out
 
     def stages(self) -> list[tuple[str, Sequential]]:

@@ -118,6 +118,7 @@ class BranchyLeNet(Module):
         images: np.ndarray,
         threshold: float | None = None,
         batch_size: int = 256,
+        fastpath: bool = True,
     ) -> BranchyInferenceResult:
         """Threshold-gated early-exit inference over a raw image array.
 
@@ -126,24 +127,45 @@ class BranchyLeNet(Module):
         through the trunk.  (On a real device samples arrive one at a
         time; the latency model in :mod:`repro.hw.latency` accounts for
         per-sample costs — here we only need predictions and exit masks.)
+
+        With ``fastpath=True`` (default) each stage runs through a
+        compiled :class:`~repro.nn.fastpath.InferencePlan` — lazily
+        traced per batch shape, reused across batches (including the
+        ragged final one and variable-size hard sub-batches).  Set
+        ``fastpath=False`` to run the reference autograd path (used by
+        the equivalence tests).
         """
         threshold = self.entropy_threshold if threshold is None else float(threshold)
         self.eval()
+        images = np.ascontiguousarray(images, dtype=np.float32)
         preds = np.empty(images.shape[0], dtype=np.int64)
         exited = np.empty(images.shape[0], dtype=bool)
         entropies = np.empty(images.shape[0], dtype=np.float32)
         with no_grad():
             for start in range(0, images.shape[0], batch_size):
                 sl = slice(start, start + batch_size)
-                shared = self.stem(Tensor(images[sl]))
-                branch_logits = self.branch(shared).data
+                batch = images[sl]
+                if fastpath:
+                    shared = self.inference_plan(batch.shape, self.stem, key="stem").run(batch)
+                    branch_logits = self.inference_plan(
+                        shared.shape, self.branch, key="branch"
+                    ).run(shared)
+                else:
+                    shared = self.stem(Tensor(batch)).data
+                    branch_logits = self.branch(Tensor(shared)).data
                 probs = _softmax_np(branch_logits)
                 ent = F.entropy(probs, axis=1)
                 take_early = ent < threshold
                 batch_preds = probs.argmax(axis=1)
                 if not take_early.all():
                     hard_idx = np.flatnonzero(~take_early)
-                    trunk_logits = self.trunk(Tensor(shared.data[hard_idx])).data
+                    hard = shared[hard_idx]  # fancy indexing: fresh contiguous copy
+                    if fastpath:
+                        trunk_logits = self.inference_plan(
+                            hard.shape, self.trunk, key="trunk"
+                        ).run(hard)
+                    else:
+                        trunk_logits = self.trunk(Tensor(hard)).data
                     batch_preds[hard_idx] = trunk_logits.argmax(axis=1)
                 preds[sl] = batch_preds
                 exited[sl] = take_early
@@ -155,21 +177,30 @@ class BranchyLeNet(Module):
         return self.branch_gate(images, batch_size)[0]
 
     def branch_gate(
-        self, images: np.ndarray, batch_size: int = 256
+        self, images: np.ndarray, batch_size: int = 256, fastpath: bool = True
     ) -> tuple[np.ndarray, np.ndarray]:
         """One stem+branch pass → (entropies, branch predictions).
 
         The serving-layer router needs both the gate statistic and the
         early-exit labels; computing them together avoids a second
-        forward pass over the shared stem.
+        forward pass over the shared stem.  Runs through the compiled
+        stem/branch plans (shared with :meth:`infer`) by default.
         """
         self.eval()
+        images = np.ascontiguousarray(images, dtype=np.float32)
         entropies = np.empty(images.shape[0], dtype=np.float32)
         preds = np.empty(images.shape[0], dtype=np.int64)
         with no_grad():
             for start in range(0, images.shape[0], batch_size):
                 sl = slice(start, start + batch_size)
-                logits = self.branch(self.stem(Tensor(images[sl]))).data
+                batch = images[sl]
+                if fastpath:
+                    shared = self.inference_plan(batch.shape, self.stem, key="stem").run(batch)
+                    logits = self.inference_plan(
+                        shared.shape, self.branch, key="branch"
+                    ).run(shared)
+                else:
+                    logits = self.branch(self.stem(Tensor(batch))).data
                 probs = _softmax_np(logits)
                 entropies[sl] = F.entropy(probs, axis=1)
                 preds[sl] = probs.argmax(axis=1)

@@ -67,16 +67,31 @@ class LeNet(Module):
         """Return class logits (N, num_classes) for NCHW input."""
         return self.classifier(self.features(x))
 
-    def predict(self, images: np.ndarray, batch_size: int = 256) -> np.ndarray:
-        """Label predictions for a raw image array (inference mode)."""
+    def predict(
+        self, images: np.ndarray, batch_size: int = 256, fastpath: bool = True
+    ) -> np.ndarray:
+        """Label predictions for a raw image array (inference mode).
+
+        ``fastpath=True`` (default) routes through a compiled
+        :class:`~repro.nn.fastpath.InferencePlan` covering features +
+        classifier — one im2col/GEMM program reused across batches;
+        ``fastpath=False`` runs the reference autograd path.
+        """
         from repro.nn import no_grad
 
         self.eval()
+        images = np.ascontiguousarray(images, dtype=np.float32)
         outputs = []
         with no_grad():
             for start in range(0, images.shape[0], batch_size):
-                logits = self.forward(Tensor(images[start : start + batch_size]))
-                outputs.append(logits.data.argmax(axis=1))
+                batch = images[start : start + batch_size]
+                if fastpath:
+                    logits = self.inference_plan(
+                        batch.shape, (self.features, self.classifier), key="full"
+                    ).run(batch)
+                else:
+                    logits = self.forward(Tensor(batch)).data
+                outputs.append(logits.argmax(axis=1))
         return np.concatenate(outputs) if outputs else np.empty(0, dtype=np.int64)
 
     def stages(self) -> list[tuple[str, Sequential]]:

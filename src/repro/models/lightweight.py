@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.nn import no_grad
 from repro.nn.module import Module, Sequential
-from repro.nn.layers import Linear, ReLU, Flatten
+from repro.nn.layers import Linear, Flatten
 from repro.nn.tensor import Tensor
 from repro.utils.rng import as_generator
 
@@ -78,14 +78,29 @@ class LightweightClassifier(Module):
         """NCHW input → class logits."""
         return self.head(self.stem(x))
 
-    def predict(self, images: np.ndarray, batch_size: int = 256) -> np.ndarray:
-        """Label predictions for a raw NCHW array (inference mode)."""
+    def predict(
+        self, images: np.ndarray, batch_size: int = 256, fastpath: bool = True
+    ) -> np.ndarray:
+        """Label predictions for a raw NCHW array (inference mode).
+
+        Routes through the compiled stem+head plan by default; the plan
+        reads the shared BranchyNet parameters live, so truncation stays
+        truncation (weight updates in the source model are visible).
+        """
         self.eval()
+        images = np.ascontiguousarray(images, dtype=np.float32)
         out = np.empty(images.shape[0], dtype=np.int64)
         with no_grad():
             for start in range(0, images.shape[0], batch_size):
                 sl = slice(start, start + batch_size)
-                out[sl] = self.forward(Tensor(images[sl])).data.argmax(axis=1)
+                batch = images[sl]
+                if fastpath:
+                    logits = self.inference_plan(
+                        batch.shape, (self.stem, self.head), key="full"
+                    ).run(batch)
+                else:
+                    logits = self.forward(Tensor(batch)).data
+                out[sl] = logits.argmax(axis=1)
         return out
 
     def stages(self) -> list[tuple[str, Sequential]]:

@@ -14,6 +14,7 @@ from repro.nn import functional
 from repro.nn import init
 from repro.nn import layers
 from repro.nn import optim
+from repro.nn import fastpath
 from repro.nn.serialization import save_model, load_into, save_state, load_state
 
 __all__ = [
@@ -30,6 +31,7 @@ __all__ = [
     "init",
     "layers",
     "optim",
+    "fastpath",
     "no_grad",
     "enable_grad",
     "grad_enabled",

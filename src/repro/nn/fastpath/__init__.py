@@ -1,0 +1,60 @@
+"""``repro.nn.fastpath`` — the compiled inference fast path.
+
+Inference in this repository used to re-traverse Python ``forward``
+methods, re-materialize im2col column buffers, and allocate fresh
+intermediates for every batch — even under ``no_grad()``.  This package
+compiles a model's static inference shape **once** into a flat list of
+shape-specialized kernel steps and amortizes that work across every
+subsequent batch:
+
+>>> plan = cached_plan(model, (model.features, model.classifier), images.shape)
+>>> logits = plan.run(images)          # arena-owned; reduce before next run
+
+See :mod:`repro.nn.fastpath.plan` for the kernel tricks (cached im2col
+gather indices, fused conv/linear+bias+ReLU, ``out=`` buffer reuse) and
+``docs/performance.md`` for the measured speedups.
+"""
+
+from repro.nn.fastpath.arena import BufferArena
+from repro.nn.fastpath.compiler import (
+    cached_plan,
+    clear_plans,
+    compile_plan,
+    flatten_modules,
+)
+from repro.nn.fastpath.plan import (
+    AvgPoolStep,
+    ConvStep,
+    FallbackStep,
+    FlattenStep,
+    InferencePlan,
+    LinearStep,
+    MaxPoolStep,
+    ReLUStep,
+    ReshapeStep,
+    ScaleStep,
+    SoftmaxStep,
+    Step,
+    im2col_indices,
+)
+
+__all__ = [
+    "BufferArena",
+    "InferencePlan",
+    "Step",
+    "ConvStep",
+    "LinearStep",
+    "MaxPoolStep",
+    "AvgPoolStep",
+    "ReLUStep",
+    "SoftmaxStep",
+    "ScaleStep",
+    "FlattenStep",
+    "ReshapeStep",
+    "FallbackStep",
+    "im2col_indices",
+    "compile_plan",
+    "cached_plan",
+    "clear_plans",
+    "flatten_modules",
+]

@@ -1,0 +1,85 @@
+"""Preallocated buffer arena for the compiled inference fast path.
+
+Every intermediate a compiled plan touches — padded inputs, im2col
+column matrices, GEMM outputs, pooling results — is allocated exactly
+once, when the plan is compiled, and reused for every subsequent batch.
+Steady-state serving therefore performs **zero large allocations** per
+batch: NumPy kernels write into these buffers via ``out=``.
+
+Buffers are sized for the plan's *capacity* (the largest batch the plan
+has seen); smaller batches, e.g. the ragged final micro-batch of a
+serving run, use leading-axis views of the same buffers, which stay
+C-contiguous and BLAS-friendly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BufferArena"]
+
+
+class BufferArena:
+    """A named pool of preallocated float32 scratch buffers.
+
+    The arena is deliberately dumb: it hands out buffers at compile time
+    and never frees or resizes them.  Plans own their arena, so a plan's
+    lifetime bounds its memory; dropping the plan drops the buffers.
+
+    ``allocation_count`` is the observability hook the regression tests
+    key on: after compilation it must stay constant no matter how many
+    batches run through the plan.
+    """
+
+    def __init__(self, dtype: np.dtype | type = np.float32) -> None:
+        self.dtype = np.dtype(dtype)
+        self._buffers: dict[str, np.ndarray] = {}
+        self.allocation_count = 0
+
+    def alloc(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        dtype: np.dtype | type | None = None,
+        zero: bool = False,
+    ) -> np.ndarray:
+        """Allocate (once) and return the buffer registered under ``name``.
+
+        ``zero=True`` zero-fills at allocation — used for padded-input
+        buffers whose border must read as zeros forever (the interior is
+        overwritten each batch, the border never is).
+        """
+        dt = self.dtype if dtype is None else np.dtype(dtype)
+        if name in self._buffers:
+            buf = self._buffers[name]
+            if buf.shape != tuple(shape) or buf.dtype != dt:
+                raise ValueError(
+                    f"arena buffer {name!r} already allocated with shape "
+                    f"{buf.shape}/{buf.dtype}, requested {tuple(shape)}/{dt}"
+                )
+            return buf
+        buf = np.zeros(shape, dtype=dt) if zero else np.empty(shape, dtype=dt)
+        self._buffers[name] = buf
+        self.allocation_count += 1
+        return buf
+
+    def get(self, name: str) -> np.ndarray:
+        return self._buffers[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._buffers
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by the arena (the plan's memory footprint)."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+    def names(self) -> list[str]:
+        return sorted(self._buffers)
+
+    def __repr__(self) -> str:
+        mb = self.nbytes / 1e6
+        return f"BufferArena({len(self._buffers)} buffers, {mb:.2f} MB)"

@@ -1,0 +1,179 @@
+"""Plan compiler: trace a layer stack once, specialize kernels to shapes.
+
+``compile_plan`` walks a :class:`~repro.nn.module.Sequential` (or a
+tuple of them — e.g. LeNet's ``features`` + ``classifier``) under
+eval-mode semantics and emits a flat list of shape-specialized steps:
+
+* ``Conv2d`` / ``Linear`` immediately followed by ``ReLU`` fuse into a
+  single GEMM+bias+ReLU step;
+* ``Identity``, ``Dropout``, and ``ActivityRegularizer`` (all no-ops at
+  inference) are elided entirely;
+* anything unrecognized becomes a :class:`FallbackStep`, so the compiler
+  is total over arbitrary modules.
+
+``cached_plan`` is the memoization layer models use: plans are cached on
+the owning model keyed by ``(stage, per-sample shape)``; a bigger batch
+than the cached capacity triggers a one-time recompile at the larger
+capacity, and every batch size at or below capacity (ragged final
+serving batches included) reuses the same plan and arena.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.fastpath.arena import BufferArena
+from repro.nn.fastpath.plan import (
+    AvgPoolStep,
+    ConvStep,
+    FallbackStep,
+    FlattenStep,
+    InferencePlan,
+    LinearStep,
+    MaxPoolStep,
+    ReLUStep,
+    ReshapeStep,
+    ScaleStep,
+    SoftmaxStep,
+    Step,
+)
+from repro.nn.layers import (
+    AvgPool2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Reshape,
+    Scale,
+    Softmax,
+)
+from repro.nn.layers.regularizers import ActivityRegularizer
+from repro.nn.module import Module, Sequential
+
+__all__ = ["compile_plan", "cached_plan", "clear_plans", "flatten_modules"]
+
+# Layers that are exact no-ops in inference mode and are elided from plans.
+_ELIDED = (Identity, Dropout, ActivityRegularizer)
+
+
+def flatten_modules(modules: Module | Sequence[Module]) -> list[Module]:
+    """Recursively expand Sequentials into a flat, ordered leaf-layer list."""
+    stack = [modules] if isinstance(modules, Module) else list(modules)
+    flat: list[Module] = []
+    for m in stack:
+        if isinstance(m, Sequential):
+            flat.extend(flatten_modules(list(m)))
+        else:
+            flat.append(m)
+    return flat
+
+
+def _probe_shape(module: Module, feat_shape: tuple[int, ...]) -> tuple[int, ...]:
+    """Output per-sample shape of an arbitrary module, found by probing."""
+    from repro.nn.autograd import no_grad
+    from repro.nn.tensor import Tensor
+
+    with no_grad():
+        out = module(Tensor(np.zeros((1, *feat_shape), dtype=np.float32)))
+    return tuple(out.shape[1:])
+
+
+def compile_plan(
+    modules: Module | Sequence[Module],
+    batch_shape: tuple[int, ...],
+    arena: BufferArena | None = None,
+) -> InferencePlan:
+    """Trace ``modules`` at ``batch_shape`` into an :class:`InferencePlan`.
+
+    ``batch_shape`` is ``(capacity, *per_sample_shape)``; the compiled
+    plan serves any batch of 1..capacity samples of that shape.
+    """
+    capacity, *sample = batch_shape
+    if capacity < 1:
+        raise ValueError(f"plan capacity must be >= 1, got {capacity}")
+    arena = arena if arena is not None else BufferArena()
+    layers = [m for m in flatten_modules(modules) if not isinstance(m, _ELIDED)]
+    steps: list[Step] = []
+    feat: tuple[int, ...] = tuple(sample)
+    i = 0
+    while i < len(layers):
+        layer = layers[i]
+        fuse_relu = i + 1 < len(layers) and isinstance(layers[i + 1], ReLU)
+        tag = f"s{len(steps)}"
+        if isinstance(layer, Conv2d):
+            if len(feat) != 3:
+                raise ValueError(f"conv2d at step {len(steps)} needs CHW input, got {feat}")
+            step = ConvStep(layer, feat, capacity, arena, tag, fuse_relu)
+            feat = (step.f, step.oh, step.ow)
+            i += 2 if fuse_relu else 1
+        elif isinstance(layer, Linear):
+            if len(feat) != 1:
+                raise ValueError(f"linear at step {len(steps)} needs flat input, got {feat}")
+            step = LinearStep(layer, capacity, arena, tag, fuse_relu)
+            feat = (layer.out_features,)
+            i += 2 if fuse_relu else 1
+        elif isinstance(layer, MaxPool2d):
+            step = MaxPoolStep(layer.kernel_size, layer.stride, feat, capacity, arena, tag)
+            feat = (feat[0], step.oh, step.ow)
+            i += 1
+        elif isinstance(layer, AvgPool2d):
+            step = AvgPoolStep(layer.kernel_size, layer.stride, feat, capacity, arena, tag)
+            feat = (feat[0], step.oh, step.ow)
+            i += 1
+        elif isinstance(layer, ReLU):
+            step = ReLUStep(feat, capacity, arena, tag)
+            i += 1
+        elif isinstance(layer, Softmax) and layer.axis in (-1, len(feat)):
+            step = SoftmaxStep(feat, capacity, arena, tag)
+            i += 1
+        elif isinstance(layer, Scale):
+            step = ScaleStep(layer.factor, feat, capacity, arena, tag)
+            i += 1
+        elif isinstance(layer, Flatten):
+            step = FlattenStep()
+            feat = (int(np.prod(feat)),)
+            i += 1
+        elif isinstance(layer, Reshape):
+            step = ReshapeStep(layer.shape)
+            feat = tuple(layer.shape)
+            i += 1
+        else:
+            step = FallbackStep(layer)
+            feat = _probe_shape(layer, feat)
+            i += 1
+        steps.append(step)
+    return InferencePlan(steps, tuple(sample), feat, capacity, arena)
+
+
+def cached_plan(
+    owner: object,
+    modules: Module | Sequence[Module],
+    batch_shape: tuple[int, ...],
+    key: str = "plan",
+) -> InferencePlan:
+    """Fetch (or lazily compile) the plan for ``batch_shape`` on ``owner``.
+
+    Plans live in ``owner.__dict__["_fastpath_plans"]``, keyed by
+    ``(key, per_sample_shape)``.  Because steps read parameters live,
+    weight updates never invalidate a plan; only a batch larger than the
+    cached capacity forces a recompile (at the larger capacity).
+    """
+    n, *sample = batch_shape
+    cache: dict = owner.__dict__.setdefault("_fastpath_plans", {})
+    cache_key = (key, tuple(sample))
+    plan = cache.get(cache_key)
+    if plan is None or plan.capacity < n:
+        capacity = max(n, plan.capacity if plan is not None else 0)
+        plan = compile_plan(modules, (capacity, *sample))
+        cache[cache_key] = plan
+    return plan
+
+
+def clear_plans(owner: object) -> None:
+    """Drop every cached plan (and its arena buffers) from ``owner``."""
+    owner.__dict__.pop("_fastpath_plans", None)

@@ -47,19 +47,51 @@ def _im2col(x: Array, kh: int, kw: int, stride: int) -> tuple[Array, int, int]:
     return np.ascontiguousarray(cols), oh, ow
 
 
+def _valid_span(k: int, padding: int, stride: int, out_size: int, size: int) -> tuple[int, int, int]:
+    """Clip one kernel offset's output range to the unpadded input.
+
+    Output position ``t`` touches input coordinate ``k + stride*t - padding``;
+    returns ``(first_coord, t0, t1)`` such that positions ``t0..t1`` (exclusive)
+    land inside ``[0, size)``.
+    """
+    t0 = max(0, -((k - padding) // stride) if k < padding else 0)
+    r0 = k - padding + stride * t0
+    if r0 >= size:
+        return r0, 0, 0
+    t1 = min(out_size, t0 + (size - 1 - r0) // stride + 1)
+    return r0, t0, t1
+
+
 def _col2im(
-    cols: Array, x_shape: tuple[int, int, int, int], kh: int, kw: int, stride: int, oh: int, ow: int
+    cols: Array,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    oh: int,
+    ow: int,
+    padding: int = 0,
 ) -> Array:
-    """Scatter-add column gradients back to the padded input layout."""
-    n, c, _, _ = x_shape
+    """Scatter-add column gradients straight back to the *unpadded* input.
+
+    Padding is handled by clipping each kernel offset's slice to the real
+    input extent, so no padded intermediate is materialized and the
+    returned array is freshly owned — the caller accumulates it without a
+    defensive copy (``Tensor._accumulate(..., fresh=True)``).
+    """
+    n, c, h, w = x_shape
     dx = np.zeros(x_shape, dtype=cols.dtype)
     cols6 = cols.reshape(n, oh, ow, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
     # KH*KW iterations (25 for a 5x5 kernel); each is a fully vectorized add.
     for i in range(kh):
         for j in range(kw):
-            dx[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride] += cols6[
-                :, :, i, j
-            ]
+            r0, t0, t1 = _valid_span(i, padding, stride, oh, h)
+            c0, u0, u1 = _valid_span(j, padding, stride, ow, w)
+            if t0 >= t1 or u0 >= u1:
+                continue
+            dx[
+                :, :, r0 : r0 + stride * (t1 - t0) : stride, c0 : c0 + stride * (u1 - u0) : stride
+            ] += cols6[:, :, i, j, t0:t1, u0:u1]
     return dx
 
 
@@ -101,15 +133,15 @@ def conv2d(
     def backward(g: Array) -> None:
         g_cols = np.ascontiguousarray(g.transpose(0, 2, 3, 1)).reshape(-1, f)
         if bias is not None and bias.requires_grad:
-            bias._accumulate(g_cols.sum(axis=0))
+            bias._accumulate(g_cols.sum(axis=0), fresh=True)
         if weight.requires_grad:
-            weight._accumulate((g_cols.T @ cols).reshape(weight.shape))
+            weight._accumulate((g_cols.T @ cols).reshape(weight.shape), fresh=True)
         if x.requires_grad:
             d_cols = g_cols @ w_mat
-            dx_pad = _col2im(d_cols, x_pad.shape, kh, kw, stride, oh, ow)
-            if padding:
-                dx_pad = dx_pad[:, :, padding:-padding, padding:-padding]
-            x._accumulate(dx_pad)
+            # Scatter directly into the unpadded gradient: no padded
+            # intermediate, no slice-view copy on accumulation.
+            dx = _col2im(d_cols, x.data.shape, kh, kw, stride, oh, ow, padding)
+            x._accumulate(dx, fresh=True)
 
     return Tensor._make(np.ascontiguousarray(out), parents, backward)
 
@@ -140,7 +172,7 @@ def max_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor
         rows = oi * stride + ki
         cols_ = oj * stride + kj
         np.add.at(dx, (ni, ci, rows, cols_), g)
-        x._accumulate(dx)
+        x._accumulate(dx, fresh=True)
 
     return Tensor._make(np.ascontiguousarray(out), (x,), backward)
 
@@ -164,7 +196,7 @@ def avg_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor
         for i in range(kernel_size):
             for j in range(kernel_size):
                 dx[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride] += gs
-        x._accumulate(dx)
+        x._accumulate(dx, fresh=True)
 
     return Tensor._make(np.ascontiguousarray(out), (x,), backward)
 
@@ -191,7 +223,7 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
             return
         # J^T g = s * (g - <g, s>)
         dot = (g * out_data).sum(axis=axis, keepdims=True)
-        x._accumulate(out_data * (g - dot))
+        x._accumulate(out_data * (g - dot), fresh=True)
 
     return Tensor._make(out_data, (x,), backward)
 
@@ -206,7 +238,7 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     def backward(g: Array) -> None:
         if not x.requires_grad:
             return
-        x._accumulate(g - soft * g.sum(axis=axis, keepdims=True))
+        x._accumulate(g - soft * g.sum(axis=axis, keepdims=True), fresh=True)
 
     return Tensor._make(out_data, (x,), backward)
 
@@ -236,7 +268,7 @@ def cross_entropy(logits: Tensor, targets: Array | Tensor) -> Tensor:
         grad = np.exp(log_probs)
         grad[np.arange(n), labels] -= 1.0
         grad *= float(g) / n
-        logits._accumulate(grad)
+        logits._accumulate(grad, fresh=True)
 
     return Tensor._make(np.asarray(loss, dtype=logits.dtype), (logits,), backward)
 

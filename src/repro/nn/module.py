@@ -115,6 +115,38 @@ class Module:
     def num_parameters(self) -> int:
         return sum(p.size for p in self.parameters())
 
+    # -- compiled inference fast path ---------------------------------- #
+    def inference_plan(self, batch_shape, modules=None, key: str = "plan"):
+        """Cached compiled inference plan for this module at ``batch_shape``.
+
+        Thin wrapper over :func:`repro.nn.fastpath.cached_plan`: plans
+        are memoized on this instance per ``(key, per-sample shape)`` and
+        read parameters live, so they survive weight updates.  ``modules``
+        overrides what gets traced (default: this module itself) — e.g.
+        a model can trace ``(self.features, self.classifier)``.
+        """
+        from repro.nn.fastpath import cached_plan
+
+        return cached_plan(self, self if modules is None else modules, batch_shape, key=key)
+
+    def clear_inference_plans(self) -> None:
+        """Drop cached fastpath plans (and their arena buffers)."""
+        from repro.nn.fastpath import clear_plans
+
+        clear_plans(self)
+
+    def __getstate__(self):
+        """Pickle without cached inference plans.
+
+        Plans hold multi-MB scratch arenas and are pure caches — shipping
+        them through process-pool pipes (the serving engine pickles the
+        backend per worker chunk) or into deep copies would be dead
+        weight.  Receivers retrace lazily on their first batch.
+        """
+        state = self.__dict__.copy()
+        state.pop("_fastpath_plans", None)
+        return state
+
     # -- forward ---------------------------------------------------------- #
     def forward(self, *args, **kwargs):
         raise NotImplementedError(f"{type(self).__name__} must implement forward()")

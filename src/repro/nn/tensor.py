@@ -146,12 +146,24 @@ class Tensor:
             out._backward = backward
         return out
 
-    def _accumulate(self, grad: Array) -> None:
+    def _accumulate(self, grad: Array, fresh: bool = False) -> None:
+        """Add ``grad`` into this tensor's gradient buffer, in place.
+
+        ``fresh=True`` asserts the caller computed ``grad`` exclusively
+        for this call (e.g. ``g * other.data``), letting us take
+        ownership instead of copying.  The default copies on first
+        accumulation: adopting a *shared* array (such as the upstream
+        ``g`` an add-node forwards to both parents) aliases sibling
+        ``.grad`` buffers, and later in-place ``+=`` accumulations then
+        corrupt them.
+        """
         grad = np.asarray(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
+            # _unbroadcast sums, producing an array only we hold.
             grad = _unbroadcast(grad, self.data.shape)
+            fresh = True
         if self.grad is None:
-            self.grad = grad.copy() if grad.base is not None else grad
+            self.grad = grad if fresh else grad.copy()
         else:
             self.grad += grad
 
@@ -210,7 +222,7 @@ class Tensor:
     def __neg__(self) -> "Tensor":
         def backward(g: Array) -> None:
             if self.requires_grad:
-                self._accumulate(-g)
+                self._accumulate(-g, fresh=True)
 
         return Tensor._make(-self.data, (self,), backward)
 
@@ -221,7 +233,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(g)
             if other.requires_grad:
-                other._accumulate(-g)
+                other._accumulate(-g, fresh=True)
 
         return Tensor._make(self.data - other.data, (self, other), backward)
 
@@ -233,9 +245,9 @@ class Tensor:
 
         def backward(g: Array) -> None:
             if self.requires_grad:
-                self._accumulate(g * other.data)
+                self._accumulate(g * other.data, fresh=True)
             if other.requires_grad:
-                other._accumulate(g * self.data)
+                other._accumulate(g * self.data, fresh=True)
 
         return Tensor._make(self.data * other.data, (self, other), backward)
 
@@ -246,9 +258,9 @@ class Tensor:
 
         def backward(g: Array) -> None:
             if self.requires_grad:
-                self._accumulate(g / other.data)
+                self._accumulate(g / other.data, fresh=True)
             if other.requires_grad:
-                other._accumulate(-g * self.data / (other.data * other.data))
+                other._accumulate(-g * self.data / (other.data * other.data), fresh=True)
 
         return Tensor._make(self.data / other.data, (self, other), backward)
 
@@ -261,7 +273,7 @@ class Tensor:
 
         def backward(g: Array) -> None:
             if self.requires_grad:
-                self._accumulate(g * exponent * self.data ** (exponent - 1))
+                self._accumulate(g * exponent * self.data ** (exponent - 1), fresh=True)
 
         return Tensor._make(self.data**exponent, (self,), backward)
 
@@ -270,9 +282,9 @@ class Tensor:
 
         def backward(g: Array) -> None:
             if self.requires_grad:
-                self._accumulate(g @ other.data.swapaxes(-1, -2))
+                self._accumulate(g @ other.data.swapaxes(-1, -2), fresh=True)
             if other.requires_grad:
-                other._accumulate(self.data.swapaxes(-1, -2) @ g)
+                other._accumulate(self.data.swapaxes(-1, -2) @ g, fresh=True)
 
         return Tensor._make(self.data @ other.data, (self, other), backward)
 
@@ -281,7 +293,7 @@ class Tensor:
             if self.requires_grad:
                 full = np.zeros_like(self.data)
                 np.add.at(full, key, g)
-                self._accumulate(full)
+                self._accumulate(full, fresh=True)
 
         return Tensor._make(self.data[key], (self,), backward)
 
@@ -322,7 +334,7 @@ class Tensor:
             # Split gradient evenly between ties (matches numerical grad).
             mask /= mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
             grad = g if keepdims or axis is None else np.expand_dims(g, axis)
-            self._accumulate(mask * grad)
+            self._accumulate(mask * grad, fresh=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -334,14 +346,14 @@ class Tensor:
 
         def backward(g: Array) -> None:
             if self.requires_grad:
-                self._accumulate(g * out_data)
+                self._accumulate(g * out_data, fresh=True)
 
         return Tensor._make(out_data, (self,), backward)
 
     def log(self) -> "Tensor":
         def backward(g: Array) -> None:
             if self.requires_grad:
-                self._accumulate(g / self.data)
+                self._accumulate(g / self.data, fresh=True)
 
         return Tensor._make(np.log(self.data), (self,), backward)
 
@@ -351,7 +363,7 @@ class Tensor:
     def abs(self) -> "Tensor":
         def backward(g: Array) -> None:
             if self.requires_grad:
-                self._accumulate(g * np.sign(self.data))
+                self._accumulate(g * np.sign(self.data), fresh=True)
 
         return Tensor._make(np.abs(self.data), (self,), backward)
 
@@ -360,7 +372,7 @@ class Tensor:
 
         def backward(g: Array) -> None:
             if self.requires_grad:
-                self._accumulate(g * mask)
+                self._accumulate(g * mask, fresh=True)
 
         return Tensor._make(self.data * mask, (self,), backward)
 
@@ -374,7 +386,7 @@ class Tensor:
 
         def backward(g: Array) -> None:
             if self.requires_grad:
-                self._accumulate(g * out_data * (1.0 - out_data))
+                self._accumulate(g * out_data * (1.0 - out_data), fresh=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -383,7 +395,7 @@ class Tensor:
 
         def backward(g: Array) -> None:
             if self.requires_grad:
-                self._accumulate(g * (1.0 - out_data * out_data))
+                self._accumulate(g * (1.0 - out_data * out_data), fresh=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -392,7 +404,7 @@ class Tensor:
 
         def backward(g: Array) -> None:
             if self.requires_grad:
-                self._accumulate(g * mask)
+                self._accumulate(g * mask, fresh=True)
 
         return Tensor._make(np.clip(self.data, low, high), (self,), backward)
 

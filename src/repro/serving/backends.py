@@ -5,7 +5,15 @@ A backend couples two things the engine needs per micro-batch:
 * **real predictions** — ``predict`` runs the actual model
   (:meth:`CBNet.predict <repro.core.cbnet.CBNet.predict>`,
   :meth:`BranchyLeNet.infer <repro.models.branchynet.BranchyLeNet.infer>`,
-  ...), so the serving engine produces genuine labels, not placeholders;
+  ...), so the serving engine produces genuine labels, not placeholders.
+  Every one of those model entry points routes through the compiled
+  inference fast path (:mod:`repro.nn.fastpath`): the first batch of a
+  given shape traces an :class:`~repro.nn.fastpath.InferencePlan`, and
+  every subsequent batch — including the ragged final micro-batch —
+  reuses its preallocated buffer arena, so the steady-state serving
+  loop performs no per-batch allocations of conv column buffers.  Call
+  :meth:`InferenceBackend.warmup` to pay the one-time trace before
+  opening the doors to traffic;
 * **virtual service time** — how long that batch occupies a worker on
   the simulated device, derived from the calibrated per-layer latency
   model in :mod:`repro.hw.latency`.  Per-batch time is
@@ -70,10 +78,46 @@ class InferenceBackend:
     """Base class: a named model with routing, timing, and prediction."""
 
     name: str = "backend"
+    #: Per-sample input shape used by :meth:`warmup`.
+    in_shape: tuple[int, ...] = (1, 28, 28)
 
     def __init__(self, timing: BatchTiming, router: EntropyRouter | None = None):
         self.timing = timing
         self.router = router
+
+    def warmup(
+        self, batch_size: int = 256, sample_shape: tuple[int, ...] | None = None
+    ) -> None:
+        """Trace and cache the fastpath plans for ``batch_size`` up front.
+
+        Runs a dummy batch through :meth:`route` (if routing) and
+        :meth:`predict` — and, for routed backends, a second pass with an
+        all-hard decision — so *both* sides of the entropy gate are
+        compiled before live traffic, whatever the gate decides for real
+        requests.  ``sample_shape`` defaults to :attr:`in_shape`;
+        :meth:`Server.serve <repro.serving.engine.Server.serve>` passes
+        the trace's actual per-sample shape before dispatch.  Memoized:
+        repeat calls for an already-warmed (shape, size) are no-ops, and
+        the cost is wall-clock only (the virtual clock never sees it).
+        """
+        shape = tuple(sample_shape) if sample_shape is not None else self.in_shape
+        warmed: dict[tuple[int, ...], int] = self.__dict__.setdefault("_warmed", {})
+        if warmed.get(shape, 0) >= batch_size:
+            return
+        dummy = np.zeros((batch_size, *shape), dtype=np.float32)
+        decision = self.route(dummy)
+        self.predict(dummy, decision)
+        if decision is not None:
+            # A uniform dummy batch routes entirely one way; force the
+            # complementary all-hard split so the trunk / conversion path
+            # is traced too.
+            all_hard = RouteDecision(
+                easy=np.zeros(batch_size, dtype=bool),
+                entropy=decision.entropy,
+                predictions=decision.predictions,
+            )
+            self.predict(dummy, all_hard)
+        warmed[shape] = batch_size
 
     def route(self, images: np.ndarray) -> RouteDecision | None:
         """Split a batch into easy/hard, or ``None`` for static pipelines."""

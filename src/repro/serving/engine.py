@@ -195,6 +195,16 @@ class Server:
         if np.any(np.diff(arrival_s) < 0):
             raise ValueError("arrival times must be non-decreasing")
 
+        # Pay the fastpath plan compilation for the routing path (and,
+        # with n_workers == 1, the prediction path) before dispatch.
+        # Pooled workers receive the backend without cached plans
+        # (Module.__getstate__) and retrace on their first batch.
+        # Wall-clock only — the virtual clock never sees it — and a
+        # no-op when this shape is already warmed.
+        self.backend.warmup(
+            min(self.max_batch_size, images.shape[0]), sample_shape=images.shape[1:]
+        )
+
         requests = [Request(i, float(t)) for i, t in enumerate(arrival_s)]
         batcher = MicroBatcher(self.max_batch_size, self.max_wait_s)
         cache = LRUResultCache(self.cache_capacity)

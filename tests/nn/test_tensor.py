@@ -206,3 +206,35 @@ class TestGradMode:
         t = Tensor([1.0])
         assert as_tensor(t) is t
         assert isinstance(as_tensor([1.0, 2.0]), Tensor)
+
+
+class TestGradientAliasing:
+    """Regression: _accumulate must never adopt a shared upstream gradient.
+
+    An add node forwards the *same* ``g`` array to both parents; taking
+    ownership of it aliased both parents' ``.grad`` buffers, so a later
+    in-place accumulation into one silently corrupted the other.
+    """
+
+    def test_add_parents_do_not_alias(self):
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        y = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        z = x + y
+        (z.sum() + (x * 3.0).sum()).backward()
+        assert np.allclose(x.grad, 4.0)
+        assert np.allclose(y.grad, 1.0)  # was corrupted to 4.0 by aliasing
+        assert x.grad is not y.grad
+
+    def test_sub_parent_does_not_alias(self):
+        x = Tensor(np.ones(2, dtype=np.float32), requires_grad=True)
+        y = Tensor(np.ones(2, dtype=np.float32), requires_grad=True)
+        z = x - y
+        (z.sum() + (x * 2.0).sum() + (y * 5.0).sum()).backward()
+        assert np.allclose(x.grad, 3.0)
+        assert np.allclose(y.grad, 4.0)
+
+    def test_diamond_reuse_in_place_accumulation(self):
+        a = Tensor(np.arange(4, dtype=np.float32), requires_grad=True)
+        b = a + a  # both parent slots are the same tensor
+        (b * b).sum().backward()
+        assert np.allclose(a.grad, 8.0 * np.arange(4))

@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""Benchmark recording and regression gating (`make bench-record/bench-check`).
+
+Wraps pytest-benchmark to give the repo a persistent performance
+trajectory:
+
+* ``record`` runs the benchmark suites, extracts the per-test **median**
+  runtimes, and writes them to ``BENCH_<n>.json`` at the repo root
+  (``n`` = one past the highest existing index).  ``BENCH_0.json`` is
+  the first recorded baseline (the PR that introduced the compiled
+  inference fast path).
+* ``check`` re-runs the same suites and fails (exit 1) if any test's
+  median regressed by more than ``--rtol`` (default 15%) against the
+  *latest* recorded ``BENCH_<n>.json``.  Tests present in only one of
+  the two sets are reported but never fail the gate (benchmarks come
+  and go); absolute times across machines are not comparable, so CI
+  runs ``check`` in smoke mode mainly to prove the harness itself works.
+
+Usage::
+
+    python tools/bench_compare.py record [--suites ...]
+    python tools/bench_compare.py check  [--suites ...] [--rtol 0.15]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+#: Suites whose medians form the recorded baseline: the substrate hot
+#: kernels (conv/GEMM/pooling + fastpath inference) and the serving
+#: engine (throughput / tail latency of the batched server).
+DEFAULT_SUITES = (
+    "benchmarks/test_substrate_kernels.py",
+    "benchmarks/test_serving_engine.py",
+)
+
+_BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def existing_records() -> list[tuple[int, Path]]:
+    """All ``BENCH_<n>.json`` files at the repo root, ordered by index."""
+    records = []
+    for path in REPO.iterdir():
+        m = _BENCH_RE.match(path.name)
+        if m:
+            records.append((int(m.group(1)), path))
+    return sorted(records)
+
+
+def run_benchmarks(suites: list[str]) -> dict[str, float]:
+    """Run ``suites`` under pytest-benchmark; return {test_id: median_s}."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        json_path = Path(tmp.name)
+    cmd = [
+        sys.executable,
+        "-m",
+        "pytest",
+        *suites,
+        "-q",
+        "--benchmark-only",
+        f"--benchmark-json={json_path}",
+    ]
+    # Make `python tools/bench_compare.py ...` work from a fresh clone,
+    # without requiring `pip install -e .` or the Makefile's export.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    try:
+        proc = subprocess.run(cmd, cwd=REPO, env=env)
+        if proc.returncode != 0:
+            raise SystemExit(f"benchmark run failed (exit {proc.returncode})")
+        data = json.loads(json_path.read_text())
+    finally:
+        json_path.unlink(missing_ok=True)
+    medians = {}
+    for bench in data["benchmarks"]:
+        # fullname like "benchmarks/test_substrate_kernels.py::test_conv2d_forward"
+        medians[bench["fullname"]] = bench["stats"]["median"]
+    return medians
+
+
+def cmd_record(suites: list[str]) -> int:
+    """Record a new ``BENCH_<n>.json`` baseline."""
+    medians = run_benchmarks(suites)
+    records = existing_records()
+    index = records[-1][0] + 1 if records else 0
+    out = REPO / f"BENCH_{index}.json"
+    payload = {
+        "schema": 1,
+        "recorded_unix": int(time.time()),
+        "suites": list(suites),
+        "medians_s": dict(sorted(medians.items())),
+    }
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"recorded {len(medians)} medians -> {out.name}")
+    return 0
+
+
+def cmd_check(suites: list[str], rtol: float) -> int:
+    """Compare a fresh run against the latest recorded baseline."""
+    records = existing_records()
+    if not records:
+        print("no BENCH_<n>.json baseline found; run `make bench-record` first")
+        return 1
+    baseline_path = records[-1][1]
+    baseline = json.loads(baseline_path.read_text())["medians_s"]
+    medians = run_benchmarks(suites)
+
+    failures, lines = [], []
+    for name in sorted(set(baseline) | set(medians)):
+        if name not in medians:
+            lines.append(f"  [gone]   {name} (in {baseline_path.name} only)")
+            continue
+        if name not in baseline:
+            lines.append(f"  [new]    {name} median={medians[name] * 1e3:.3f} ms")
+            continue
+        ratio = medians[name] / baseline[name]
+        status = "ok"
+        if ratio > 1.0 + rtol:
+            status = "REGRESSED"
+            failures.append(name)
+        lines.append(
+            f"  [{status:9s}] {name}: {baseline[name] * 1e3:.3f} -> "
+            f"{medians[name] * 1e3:.3f} ms ({ratio:.2f}x)"
+        )
+    print(f"benchmark check vs {baseline_path.name} (rtol {rtol:.0%}):")
+    print("\n".join(lines))
+    if failures:
+        print(f"{len(failures)} benchmark(s) regressed > {rtol:.0%}")
+        return 1
+    print("no regressions")
+    return 0
+
+
+def main() -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("mode", choices=["record", "check"])
+    parser.add_argument("--suites", nargs="+", default=list(DEFAULT_SUITES))
+    parser.add_argument("--rtol", type=float, default=0.15,
+                        help="allowed median slowdown before check fails")
+    args = parser.parse_args()
+    if args.mode == "record":
+        return cmd_record(args.suites)
+    return cmd_check(args.suites, args.rtol)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
