@@ -1,0 +1,53 @@
+"""Extension bench — fleet-scale cluster serving (`repro.cluster`).
+
+Runs the three fleet studies end to end on trained models: the four
+balancing policies over a heterogeneous CBNet fleet (Pi 4 / GCI-CPU /
+GCI-K80) under steady, diurnal, and flash-crowd load; the reactive
+autoscaler against a fixed peak-sized fleet on the same diurnal trace;
+and a mid-trace crash of the fastest replica behind degrade-mode
+admission control.
+"""
+
+from repro.experiments.fleet import FLEET_SCENARIOS, run_fleet_comparison
+
+from conftest import emit
+
+
+def test_fleet_cluster_three_scenarios(benchmark, results_dir):
+    comp = benchmark.pedantic(
+        lambda: run_fleet_comparison(fast=True, seed=0), rounds=1, iterations=1
+    )
+    emit(results_dir, "fleet_cluster", comp.render())
+
+    # Load-aware balancing must beat blind rotation at the tail on a
+    # heterogeneous fleet — most visibly when a flash crowd hits.
+    rr = comp.report_for("flash-crowd", "round-robin")
+    p2c = comp.report_for("flash-crowd", "power-of-two")
+    assert p2c.p99_s < rr.p99_s, "power-of-two-choices should beat round-robin p99"
+    for scenario in FLEET_SCENARIOS:
+        blind = comp.report_for(scenario, "round-robin")
+        for policy in ("least-outstanding", "join-shortest-queue", "power-of-two"):
+            aware = comp.report_for(scenario, policy)
+            assert aware.p99_s < blind.p99_s, f"{policy} p99 should win under {scenario}"
+            assert aware.slo_attainment >= blind.slo_attainment
+
+    # Everything is genuinely served: real model predictions, full
+    # availability, nothing silently dropped.
+    for reports in comp.policy_reports.values():
+        for r in reports:
+            assert r.n_served == r.n_requests
+            assert r.accuracy > 0.9
+
+    # The autoscaler matches the fixed peak-sized fleet's SLO attainment
+    # at equal or fewer replica-seconds on the same diurnal trace.
+    fixed, auto = comp.autoscaler_reports
+    assert auto.slo_attainment >= fixed.slo_attainment
+    assert auto.replica_seconds <= fixed.replica_seconds
+    assert auto.scale_ups > 0
+
+    # Failure injection: the crash visibly bit (retries / degrades), yet
+    # the surviving replicas absorbed every request.
+    f = comp.failure_report
+    assert f.n_crashes == 1
+    assert f.n_retried + f.n_degraded > 0
+    assert f.availability == 1.0

@@ -19,7 +19,7 @@ from repro import PipelineConfig, TrainConfig, build_cbnet_pipeline, train_basel
 from repro.baselines import AdaDeepCompressor, SubFlowExecutor
 from repro.eval.tables import Table
 from repro.hw import (
-    DEVICES,
+    device_profiles,
     branchynet_expected_latency,
     cbnet_latency,
     energy_joules,
@@ -50,7 +50,7 @@ def main() -> None:
     exit_rate = branchy_res.early_exit_rate
 
     # Compression baselines (searched once against the Pi profile).
-    pi = DEVICES()["raspberry-pi4"]
+    pi = device_profiles()["raspberry-pi4"]
     ada = AdaDeepCompressor().compress(lenet, artifacts.datasets["train"], test, pi, rng=0)
     subflow = SubFlowExecutor(lenet, utilization=0.85)
 
@@ -62,7 +62,7 @@ def main() -> None:
         "CBNet": artifacts.cbnet.accuracy(images, labels),
     }
 
-    for dev_name, device in DEVICES().items():
+    for dev_name, device in device_profiles().items():
         latencies = {
             "LeNet": lenet_latency(lenet, device),
             "BranchyNet": branchynet_expected_latency(

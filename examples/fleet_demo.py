@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Fleet demo: a heterogeneous CBNet cluster under a flash crowd.
+
+Builds (or loads from cache) a small CBNet pipeline, puts one replica on
+each calibrated testbed (Raspberry Pi 4 / GCI-CPU / GCI-K80), and
+replays the same flash-crowd request stream under round-robin and
+power-of-two-choices balancing — then crashes the K80 mid-trace to show
+the failure-injection and retry machinery.
+
+Run:  python examples/fleet_demo.py
+"""
+
+from repro import PipelineConfig, TrainConfig, build_cbnet_pipeline
+from repro.cluster import Cluster, crash_window, fleet_comparison_table
+from repro.hw import device_profiles
+from repro.serving import CBNetBackend, flash_crowd_arrivals, zipf_popularity
+
+
+def main() -> None:
+    # 1. A trained pipeline (disk-cached: rerunning this script is instant).
+    config = PipelineConfig(
+        dataset="mnist",
+        seed=0,
+        n_train=2500,
+        n_test=600,
+        classifier_train=TrainConfig(epochs=10),
+        autoencoder_train=TrainConfig(epochs=8, batch_size=128),
+    )
+    artifacts = build_cbnet_pipeline(config)
+    test = artifacts.datasets["test"]
+    devices = device_profiles()
+
+    def fleet():
+        return [CBNetBackend(artifacts.cbnet, dev) for dev in devices.values()]
+
+    # 2. A flash crowd with Zipf-skewed image popularity: calm traffic,
+    #    then a sustained spike past the whole fleet's capacity.
+    n_requests = 2000
+    popular = zipf_popularity(len(test.images), n_requests, exponent=0.9, rng=1)
+    images, labels = test.images[popular], test.labels[popular]
+    arrival_s = flash_crowd_arrivals(
+        base_rate_hz=3000.0,
+        peak_rate_hz=25000.0,
+        n=n_requests,
+        spike_start_s=0.15,
+        spike_duration_s=0.05,
+        rng=2,
+    )
+
+    # 3. The same stream under blind rotation vs two load probes.
+    reports = []
+    for policy in ("round-robin", "power-of-two"):
+        cluster = Cluster(fleet(), policy=policy, slo_s=0.05, cache_capacity=256, rng=3)
+        report = cluster.serve(images, arrival_s, labels=labels, scenario="flash-crowd")
+        print(report.summary())
+        reports.append(report)
+
+    # 4. Same stream again, but the K80 replica crashes mid-spike and
+    #    recovers later — retries and availability become visible.
+    crashy = Cluster(
+        fleet(),
+        policy="power-of-two",
+        failures=crash_window(replica_id=2, at_s=0.16, duration_s=0.1),
+        slo_s=0.05,
+        cache_capacity=256,
+        rng=3,
+    )
+    report = crashy.serve(images, arrival_s, labels=labels, scenario="crash-mid-spike")
+    print(report.summary())
+    reports.append(report)
+
+    print()
+    print(
+        fleet_comparison_table(
+            reports, "Flash crowd on a Pi4 + GCI-CPU + K80 fleet"
+        ).render()
+    )
+    rr, p2c, crash = reports
+    print(
+        f"\nTwo load probes per request cut p99 from {rr.p99_s * 1e3:.1f} ms "
+        f"(round-robin) to {p2c.p99_s * 1e3:.1f} ms; losing the K80 mid-spike "
+        f"cost {crash.n_retried} retries yet availability stayed "
+        f"{crash.availability:.1%}."
+    )
+
+
+if __name__ == "__main__":
+    main()

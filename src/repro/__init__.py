@@ -15,8 +15,9 @@ BranchyNet / converting AE), :mod:`repro.core` (the CBNet pipeline),
 :mod:`repro.baselines` (AdaDeep, SubFlow), :mod:`repro.hw` (device
 latency/power simulation), :mod:`repro.serving` (batched inference
 serving engine: micro-batching, LRU result cache, easy/hard routing),
-:mod:`repro.eval` + :mod:`repro.experiments` (every table and figure
-of the paper).
+:mod:`repro.cluster` (fleet-scale serving: load balancing, autoscaling,
+admission control, failure injection), :mod:`repro.eval` +
+:mod:`repro.experiments` (every table and figure of the paper).
 
 See README.md for the quickstart and docs/architecture.md for the
 layer diagram and data-flow narrative.

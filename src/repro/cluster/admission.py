@@ -1,0 +1,70 @@
+"""Admission control: what the cluster does when it cannot keep up.
+
+Unbounded queues turn overload into unbounded latency; a production
+front door bounds the queue and *sheds* instead.  The controller caps
+total outstanding work across the fleet and applies one of two shedding
+policies to arrivals beyond the cap:
+
+* ``reject`` — turn the request away (it is never served; counts
+  against availability and SLO attainment but keeps the queues, and
+  therefore everyone else's tail, bounded);
+* ``degrade`` — admit the request but force it down the early-exit /
+  lightweight path (``RouteDecision.easy``), trading a little accuracy
+  for a per-request service-time cut.  Only backends with dynamic
+  routing have a cheaper path; for static pipelines (CBNet, LeNet)
+  degrade admits at full cost, which the report makes visible via the
+  degrade counter.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AdmissionController", "ACCEPT", "REJECT", "DEGRADE"]
+
+ACCEPT = "accept"
+REJECT = "reject"
+DEGRADE = "degrade"
+
+
+class AdmissionController:
+    """Bound cluster-wide outstanding work; shed the excess.
+
+    Parameters
+    ----------
+    max_outstanding:
+        Admit a request only while the fleet's total outstanding request
+        count (queued + in service + stranded by crashes) is below this
+        cap.  ``0`` disables admission control entirely.
+    policy:
+        ``"reject"`` or ``"degrade"`` — what happens to arrivals beyond
+        the cap.
+    """
+
+    POLICIES = (REJECT, DEGRADE)
+
+    def __init__(self, max_outstanding: int, policy: str = REJECT) -> None:
+        if max_outstanding < 0:
+            raise ValueError(f"max_outstanding must be >= 0, got {max_outstanding}")
+        if policy not in self.POLICIES:
+            raise ValueError(f"policy must be one of {self.POLICIES}, got {policy!r}")
+        self.max_outstanding = int(max_outstanding)
+        self.policy = policy
+        self.n_rejected = 0
+        self.n_degraded = 0
+        self.n_accepted = 0
+
+    def decide(self, outstanding_total: int) -> str:
+        """``ACCEPT``, ``REJECT``, or ``DEGRADE`` the arriving request."""
+        if self.max_outstanding == 0 or outstanding_total < self.max_outstanding:
+            self.n_accepted += 1
+            return ACCEPT
+        if self.policy == REJECT:
+            self.n_rejected += 1
+            return REJECT
+        self.n_degraded += 1
+        return DEGRADE
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of decisions that rejected the request outright."""
+        total = self.n_accepted + self.n_rejected + self.n_degraded
+        return self.n_rejected / total if total else 0.0

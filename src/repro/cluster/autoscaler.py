@@ -1,0 +1,170 @@
+"""SLO-driven reactive autoscaling of the replica fleet.
+
+The autoscaler runs on a fixed control interval of the virtual clock and
+reads two reactive signals:
+
+* **queue pressure** — outstanding requests per live replica (a leading
+  indicator: queues grow before sojourn percentiles do);
+* **tail latency** — p95 sojourn of recently completed requests against
+  the target SLO (the lagging indicator the fleet is actually judged
+  on).
+
+Either signal over its threshold scales **up** by provisioning a fresh
+replica, which pays a configurable warm-up (measure a real one with
+:func:`measured_warmup_s` — the wall-clock cost of the backend's
+``warmup()`` fast-path trace) before it takes traffic.  Both signals
+comfortably under threshold scale **down** by *draining* the
+most-recently-added replica: it stops receiving, finishes its queue,
+and only then stops accruing replica-seconds.  A cooldown between
+actions prevents thrash, and ``min_replicas``/``max_replicas`` bound
+the fleet.
+
+Replica-seconds (including warm-up time) are the cost side of the
+trade; the fleet report puts SLO attainment and replica-seconds side by
+side so "as good at lower cost" is a readable claim.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.serving.backends import InferenceBackend
+
+__all__ = ["AutoscalerConfig", "Autoscaler", "measured_warmup_s"]
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Tuning knobs of the reactive autoscaler.
+
+    Attributes
+    ----------
+    slo_s:
+        Target p95 sojourn; recent p95 above this triggers a scale-up.
+    interval_s:
+        Control-loop period on the virtual clock.
+    window_s:
+        How far back the recent-completions percentile signal looks.
+    scale_up_queue, scale_down_queue:
+        Outstanding-requests-per-live-replica thresholds.
+    min_replicas, max_replicas:
+        Fleet size bounds (live = UP + WARMING + DRAINING-not-finished).
+    warmup_s:
+        Virtual provisioning cost of a fresh replica before it serves
+        (see :func:`measured_warmup_s`).
+    cooldown_s:
+        Minimum spacing between consecutive scaling actions.
+    """
+
+    slo_s: float
+    interval_s: float = 0.25
+    window_s: float = 1.0
+    scale_up_queue: float = 8.0
+    scale_down_queue: float = 2.0
+    min_replicas: int = 1
+    max_replicas: int = 8
+    warmup_s: float = 0.25
+    cooldown_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.slo_s <= 0:
+            raise ValueError(f"slo_s must be positive, got {self.slo_s}")
+        if self.interval_s <= 0 or self.window_s <= 0:
+            raise ValueError("interval_s and window_s must be positive")
+        if not 1 <= self.min_replicas <= self.max_replicas:
+            raise ValueError(
+                f"need 1 <= min_replicas <= max_replicas, got "
+                f"{self.min_replicas}..{self.max_replicas}"
+            )
+        if self.scale_down_queue >= self.scale_up_queue:
+            raise ValueError("scale_down_queue must be below scale_up_queue")
+        if self.warmup_s < 0 or self.cooldown_s < 0:
+            raise ValueError("warmup_s and cooldown_s must be non-negative")
+
+
+class Autoscaler:
+    """Reactive controller: watch signals each tick, spawn or drain.
+
+    Parameters
+    ----------
+    config:
+        The :class:`AutoscalerConfig` thresholds.
+    spawn_backend:
+        Zero-argument factory producing the backend for each newly
+        provisioned replica (the scaling *unit* — e.g. "one more
+        GCI-CPU CBNet server").
+    """
+
+    def __init__(
+        self, config: AutoscalerConfig, spawn_backend: Callable[[], InferenceBackend]
+    ) -> None:
+        self.config = config
+        self.spawn_backend = spawn_backend
+        self.last_action_s = -float("inf")
+        self.n_scale_ups = 0
+        self.n_scale_downs = 0
+
+    def tick(self, cluster, now: float) -> str | None:
+        """Run one control-loop step against ``cluster`` at time ``now``.
+
+        Returns ``"up"``, ``"down"``, or ``None`` (no action), after
+        performing the action through the cluster's ``spawn_replica`` /
+        ``drain_replica`` hooks.
+        """
+        cfg = self.config
+        live = cluster.live_replicas()
+        n_live = len(live)
+        if n_live == 0:
+            return None  # a full outage is the failure injector's business
+        # Cluster-wide outstanding (including requests stranded by
+        # crashes) — stranded work must register as pressure, or an
+        # outage could look idle.
+        queue_per = cluster.outstanding_total(now) / n_live
+        p95 = cluster.recent_p95(now, cfg.window_s)
+        if now - self.last_action_s < cfg.cooldown_s:
+            return None
+
+        overloaded = queue_per > cfg.scale_up_queue or (
+            p95 is not None and p95 > cfg.slo_s
+        )
+        if overloaded and n_live < cfg.max_replicas:
+            cluster.spawn_replica(self.spawn_backend(), now, cfg.warmup_s)
+            self.last_action_s = now
+            self.n_scale_ups += 1
+            return "up"
+
+        relaxed = queue_per < cfg.scale_down_queue and (
+            p95 is None or p95 < 0.5 * cfg.slo_s
+        )
+        if relaxed and n_live > cfg.min_replicas:
+            # Never drain the last UP replica: WARMING/DRAINING peers
+            # count toward n_live but cannot take traffic, and a fleet
+            # with zero receivers strands every arrival.
+            ups = [r for r in live if r.available]
+            if len(ups) > 1:
+                victim = max(ups, key=lambda r: r.replica_id)
+                cluster.drain_replica(victim, now)
+                self.last_action_s = now
+                self.n_scale_downs += 1
+                return "down"
+        return None
+
+
+def measured_warmup_s(
+    backend_factory: Callable[[], InferenceBackend],
+    batch_size: int = 16,
+    sample_shape: tuple[int, ...] | None = None,
+) -> float:
+    """Wall-clock cost of a cold backend's ``warmup()`` trace, in seconds.
+
+    Builds a fresh backend (warm-up is memoized per instance, so a cold
+    one is required) and times its fast-path plan compilation — the
+    realistic provisioning cost to feed ``AutoscalerConfig.warmup_s``
+    when the simulated fleet should pay what this machine actually pays.
+    """
+    backend = backend_factory()
+    t0 = time.perf_counter()
+    backend.warmup(batch_size, sample_shape=sample_shape)
+    return time.perf_counter() - t0

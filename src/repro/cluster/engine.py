@@ -1,0 +1,628 @@
+"""The fleet engine: balancer → replicas → autoscaler/failures → report.
+
+:class:`Cluster` lifts :mod:`repro.serving` from one node to a fleet.
+It replays an arrival trace on a single virtual clock shared by every
+replica:
+
+1. an arriving request is checked against the cluster-wide LRU result
+   cache (results become visible at their batch's *completion* time,
+   exactly as in the single-node engine);
+2. the :class:`~repro.cluster.admission.AdmissionController` may shed it
+   (reject outright, or degrade it onto the early-exit path);
+3. the :class:`~repro.cluster.policies.LoadBalancer` picks an UP replica
+   and the request joins that replica's micro-batcher; batches dispatch
+   to the replica's worker with the backend's calibrated service time;
+4. between arrivals, the virtual clock services deadline flushes,
+   :class:`~repro.cluster.autoscaler.Autoscaler` control ticks, and
+   injected :class:`~repro.cluster.failures.FailureEvent` crashes —
+   a crash cancels the replica's queued and in-flight work and
+   re-dispatches it through the balancer (counted as retries).
+
+Once the timeline is fixed, every surviving batch runs real model
+inference, so the :class:`ClusterReport` carries genuine served
+accuracy next to the latency, shedding, availability, and
+replica-seconds columns.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.admission import ACCEPT, DEGRADE, REJECT, AdmissionController
+from repro.cluster.autoscaler import Autoscaler
+from repro.cluster.failures import CRASH, FailureEvent
+from repro.cluster.policies import LoadBalancer, make_policy
+from repro.cluster.replica import InFlightBatch, Replica, ReplicaState
+from repro.eval.metrics import latency_percentiles
+from repro.eval.tables import Table
+from repro.serving.backends import InferenceBackend
+from repro.serving.cache import LRUResultCache, image_key
+from repro.serving.request import Request, Route
+from repro.serving.router import RouteDecision
+from repro.utils.rng import as_generator
+
+__all__ = ["Cluster", "ClusterReport", "fleet_comparison_table"]
+
+# Event kinds, in tie-breaking order at equal timestamps: a replica that
+# finishes warming at t may serve the arrival at t; crashes hit before
+# the work that would have ridden the doomed replica.
+_EV_UP, _EV_CRASH, _EV_RECOVER, _EV_TICK, _EV_ARRIVAL = range(5)
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """Everything one fleet run produced, ready for tables and asserts."""
+
+    policy: str
+    scenario: str
+    n_requests: int
+    n_served: int
+    n_shed: int
+    n_unserved: int
+    n_degraded: int
+    n_retried: int
+    n_cached: int
+    n_replicas_start: int
+    peak_replicas: int
+    n_replicas_end: int
+    duration_s: float
+    throughput_rps: float
+    arrival_rate_hz: float
+    mean_s: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    max_s: float
+    mean_batch_size: float
+    slo_s: float
+    slo_attainment: float
+    replica_seconds: float
+    utilization: float
+    cache_hit_rate: float
+    n_crashes: int
+    scale_ups: int
+    scale_downs: int
+    accuracy: float = float("nan")
+
+    def summary(self) -> str:
+        """One-line fleet digest (the cluster sibling of ServingReport.summary)."""
+        return (
+            f"[{self.policy}/{self.scenario}] {self.throughput_rps:.0f} req/s | "
+            f"p99 {self.p99_s * 1e3:.2f} ms | SLO {self.slo_attainment:.1%} | "
+            f"shed {self.shed_rate:.1%} | {self.replica_seconds:.1f} replica-s | "
+            f"avail {self.availability:.1%}"
+        )
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of requests rejected by admission control."""
+        return self.n_shed / self.n_requests if self.n_requests else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of requests actually served (not shed, not stranded)."""
+        return self.n_served / self.n_requests if self.n_requests else 0.0
+
+
+def fleet_comparison_table(reports: list[ClusterReport], title: str = "") -> Table:
+    """Render several fleet runs side by side (one row per run)."""
+    table = Table(
+        headers=[
+            "policy",
+            "req/s",
+            "p50 (ms)",
+            "p95 (ms)",
+            "p99 (ms)",
+            "SLO",
+            "shed",
+            "avail",
+            "repl-s",
+            "peak",
+            "acc",
+        ],
+        title=title,
+    )
+    for r in reports:
+        table.add_row(
+            r.policy,
+            f"{r.throughput_rps:.0f}",
+            f"{r.p50_s * 1e3:.2f}",
+            f"{r.p95_s * 1e3:.2f}",
+            f"{r.p99_s * 1e3:.2f}",
+            f"{r.slo_attainment:.1%}",
+            f"{r.shed_rate:.1%}",
+            f"{r.availability:.1%}",
+            f"{r.replica_seconds:.1f}",
+            str(r.peak_replicas),
+            "-" if np.isnan(r.accuracy) else f"{r.accuracy:.1%}",
+        )
+    return table
+
+
+@dataclass
+class _Books:
+    """Mutable per-serve state (kept off the Cluster so serve() is reentrant)."""
+
+    requests: list[Request]
+    images: np.ndarray
+    keys: list[str] | None
+    cache: LRUResultCache
+    finished: list[tuple[Replica, InFlightBatch]] = field(default_factory=list)
+    completions: list[tuple[float, int]] = field(default_factory=list)
+    stranded: list[int] = field(default_factory=list)
+    visibility: list[tuple[float, str, int]] = field(default_factory=list)
+
+
+class Cluster:
+    """Fleet-level serving simulation over heterogeneous replicas.
+
+    Parameters
+    ----------
+    backends:
+        One :class:`~repro.serving.backends.InferenceBackend` per initial
+        replica (heterogeneous fleets pass backends built from different
+        :class:`~repro.hw.device.DeviceProfile` calibrations).
+    policy:
+        A :class:`~repro.cluster.policies.LoadBalancer` instance or a
+        policy name (see :data:`~repro.cluster.policies.POLICY_NAMES`).
+    admission:
+        Optional :class:`~repro.cluster.admission.AdmissionController`.
+    autoscaler:
+        Optional :class:`~repro.cluster.autoscaler.Autoscaler`; its
+        control loop runs every ``config.interval_s`` virtual seconds.
+    failures:
+        :class:`~repro.cluster.failures.FailureEvent` sequence to inject.
+    slo_s:
+        Sojourn target used for the report's SLO-attainment column (and
+        by the autoscaler's latency signal if one is attached).
+    max_batch_size, max_wait_s:
+        Micro-batcher triggers applied to every replica.
+    cache_capacity, cache_lookup_s:
+        Cluster-wide LRU result cache (``0`` disables).
+    recover_warmup_s:
+        Warm-up a *recovering* replica pays before taking traffic
+        (freshly spawned replicas pay the autoscaler's configured cost).
+    rng:
+        Seed/generator for randomized policies (power-of-two-choices).
+    """
+
+    def __init__(
+        self,
+        backends: list[InferenceBackend],
+        policy: str | LoadBalancer = "power-of-two",
+        admission: AdmissionController | None = None,
+        autoscaler: Autoscaler | None = None,
+        failures: tuple[FailureEvent, ...] = (),
+        slo_s: float = 0.05,
+        max_batch_size: int = 16,
+        max_wait_s: float = 0.004,
+        cache_capacity: int = 0,
+        cache_lookup_s: float = 2e-5,
+        recover_warmup_s: float = 0.0,
+        rng: np.random.Generator | int | None = 0,
+    ) -> None:
+        if not backends:
+            raise ValueError("a cluster needs at least one replica backend")
+        if slo_s <= 0:
+            raise ValueError(f"slo_s must be positive, got {slo_s}")
+        if recover_warmup_s < 0:
+            raise ValueError(f"recover_warmup_s must be >= 0, got {recover_warmup_s}")
+        for event in failures:
+            if event.replica_id >= len(backends):
+                raise ValueError(
+                    f"failure event targets replica {event.replica_id}, "
+                    f"but the initial fleet has only {len(backends)} replicas"
+                )
+        self.policy = make_policy(policy) if isinstance(policy, str) else policy
+        self.admission = admission
+        self.autoscaler = autoscaler
+        self.failures = tuple(sorted(failures))
+        self.slo_s = float(slo_s)
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_s = float(max_wait_s)
+        self.cache_capacity = int(cache_capacity)
+        self.cache_lookup_s = float(cache_lookup_s)
+        self.recover_warmup_s = float(recover_warmup_s)
+        self.rng = as_generator(rng)
+        self.replicas = [
+            Replica(i, b, max_batch_size, max_wait_s) for i, b in enumerate(backends)
+        ]
+        self.n_replicas_start = len(self.replicas)
+        self.peak_replicas = len(self.replicas)
+        self._books: _Books | None = None
+        self._heap: list[tuple[float, int, int, object]] = []
+        self._seq = 0
+        self._served = False
+
+    # ------------------------------------------------------------------ #
+    # signals (shared with the autoscaler)
+    # ------------------------------------------------------------------ #
+    def live_replicas(self) -> list[Replica]:
+        """Replicas currently accruing cost (UP, WARMING, or DRAINING)."""
+        return [r for r in self.replicas if r.state != ReplicaState.DOWN]
+
+    def up_replicas(self) -> list[Replica]:
+        """Replicas the balancer may currently dispatch to."""
+        return [r for r in self.replicas if r.available]
+
+    def outstanding_total(self, now: float) -> int:
+        """Cluster-wide admitted-but-incomplete requests (incl. stranded)."""
+        books = self._books
+        stranded = len(books.stranded) if books else 0
+        return stranded + sum(r.outstanding(now) for r in self.replicas)
+
+    def recent_p95(self, now: float, window_s: float) -> float | None:
+        """p95 sojourn of completions in ``(now - window_s, now]``.
+
+        ``None`` when the window is empty.  Completions cancelled by a
+        later crash are skipped (the request's final record no longer
+        matches the one logged at dispatch).
+        """
+        books = self._books
+        if books is None:
+            return None
+        sojourn = [
+            t - books.requests[idx].arrival_s
+            for t, idx in books.completions
+            if now - window_s < t <= now and books.requests[idx].completion_s == t
+        ]
+        if not sojourn:
+            return None
+        (p95,) = latency_percentiles(np.asarray(sojourn), (95.0,))
+        return p95
+
+    # ------------------------------------------------------------------ #
+    # autoscaler hooks
+    # ------------------------------------------------------------------ #
+    def spawn_replica(
+        self, backend: InferenceBackend, now: float, warmup_s: float
+    ) -> Replica:
+        """Provision a fresh replica; it takes traffic after ``warmup_s``."""
+        replica = Replica(
+            len(self.replicas),
+            backend,
+            self.max_batch_size,
+            self.max_wait_s,
+            state=ReplicaState.DOWN,
+        )
+        self.replicas.append(replica)
+        replica.provision(now)
+        self._push(now + warmup_s, _EV_UP, (replica.replica_id, replica.generation))
+        self.peak_replicas = max(self.peak_replicas, len(self.live_replicas()))
+        return replica
+
+    def drain_replica(self, replica: Replica, now: float) -> None:
+        """Stop routing to ``replica``; it finishes its queue, then goes DOWN."""
+        replica.start_drain(now)
+
+    # ------------------------------------------------------------------ #
+    # serving loop
+    # ------------------------------------------------------------------ #
+    def serve(
+        self,
+        images: np.ndarray,
+        arrival_s: np.ndarray,
+        labels: np.ndarray | None = None,
+        scenario: str = "trace",
+    ) -> ClusterReport:
+        """Replay one arrival trace across the fleet and report.
+
+        Mirrors :meth:`repro.serving.Server.serve`: ``images[i]`` arrives
+        at ``arrival_s[i]`` (non-decreasing), ``labels`` adds genuine
+        served accuracy.  The report additionally carries fleet-only
+        columns — shed rate, SLO attainment, replica-seconds,
+        availability, retries.
+        """
+        if self._served:
+            raise RuntimeError(
+                "a Cluster replays one trace (replica billing is per-run); "
+                "build a fresh Cluster for the next trace"
+            )
+        self._served = True
+        images = np.asarray(images)
+        arrival_s = np.asarray(arrival_s, dtype=np.float64)
+        if images.shape[0] != arrival_s.shape[0]:
+            raise ValueError(
+                f"{images.shape[0]} images vs {arrival_s.shape[0]} arrival times"
+            )
+        if arrival_s.size == 0:
+            raise ValueError("cannot serve an empty request stream")
+        if np.any(np.diff(arrival_s) < 0):
+            raise ValueError("arrival times must be non-decreasing")
+
+        for replica in self.replicas:
+            replica.backend.warmup(
+                min(self.max_batch_size, images.shape[0]),
+                sample_shape=images.shape[1:],
+            )
+            # The initial fleet starts its meter at trace start, so
+            # replica-seconds are comparable across traces whatever
+            # timestamp the trace happens to begin at.
+            if replica.up_since_s == 0.0 and replica.up_seconds == 0.0:
+                replica.up_since_s = float(arrival_s[0])
+
+        n = images.shape[0]
+        keys = (
+            [image_key(images[i]) for i in range(n)] if self.cache_capacity > 0 else None
+        )
+        books = _Books(
+            requests=[Request(i, float(t)) for i, t in enumerate(arrival_s)],
+            images=images,
+            keys=keys,
+            cache=LRUResultCache(self.cache_capacity),
+        )
+        self._books = books
+        self._heap = []
+        self._seq = 0
+        for i, t in enumerate(arrival_s):
+            self._push(float(t), _EV_ARRIVAL, i)
+        for event in self.failures:
+            kind = _EV_CRASH if event.kind == CRASH else _EV_RECOVER
+            self._push(event.time_s, kind, event.replica_id)
+        if self.autoscaler is not None:
+            self._push(
+                float(arrival_s[0]) + self.autoscaler.config.interval_s, _EV_TICK, None
+            )
+
+        while self._heap:
+            self._flush_deadlines_until(self._heap[0][0])
+            now, kind, _, payload = heapq.heappop(self._heap)
+            self._advance(now)
+            if kind == _EV_ARRIVAL:
+                self._handle_arrival(payload, now)
+            elif kind == _EV_UP:
+                self._handle_up(payload, now)
+            elif kind == _EV_CRASH:
+                self._handle_crash(payload, now)
+            elif kind == _EV_RECOVER:
+                self._handle_recover(payload, now)
+            elif kind == _EV_TICK:
+                self._handle_tick(now)
+        self._flush_deadlines_until(math.inf)
+        self._advance(math.inf)
+
+        self._fill_predictions(books)
+        return self._report(books, arrival_s, labels, scenario)
+
+    # ------------------------------------------------------------------ #
+    # event plumbing
+    # ------------------------------------------------------------------ #
+    def _push(self, time_s: float, kind: int, payload) -> None:
+        heapq.heappush(self._heap, (time_s, kind, self._seq, payload))
+        self._seq += 1
+
+    def _advance(self, now: float) -> None:
+        """Purge completed batches on every replica up to ``now``."""
+        books = self._books
+        for replica in self.replicas:
+            for batch in replica.purge(now):
+                books.finished.append((replica, batch))
+
+    def _flush_deadlines_until(self, limit_s: float) -> None:
+        """Service every batcher deadline that fires before ``limit_s``."""
+        while True:
+            replica = min(self.replicas, key=lambda r: (r.next_deadline_s(), r.replica_id))
+            deadline = replica.next_deadline_s()
+            if deadline > limit_s or math.isinf(deadline):
+                return
+            self._advance(deadline)
+            self._dispatch(replica, replica.batcher.flush(), deadline)
+
+    # ------------------------------------------------------------------ #
+    # event handlers
+    # ------------------------------------------------------------------ #
+    def _handle_arrival(self, i: int, now: float) -> None:
+        books = self._books
+        req = books.requests[i]
+        if books.keys is not None:
+            while books.visibility and books.visibility[0][0] <= now:
+                t, key, src = heapq.heappop(books.visibility)
+                if books.requests[src].completion_s == t:  # not crash-cancelled
+                    books.cache.put(key, src)
+            hit = books.cache.get(books.keys[i])
+            if hit is not None:
+                req.route = Route.CACHED
+                req.source_id = int(hit)
+                req.completion_s = now + self.cache_lookup_s
+                books.completions.append((req.completion_s, i))
+                return
+        if self.admission is not None:
+            verdict = self.admission.decide(self.outstanding_total(now))
+            if verdict == REJECT:
+                req.route = Route.SHED
+                return
+            if verdict == DEGRADE:
+                req.degraded = True
+            else:
+                assert verdict == ACCEPT
+        self._route(i, now)
+
+    def _handle_up(self, payload: tuple[int, int], now: float) -> None:
+        replica_id, generation = payload
+        replica = self.replicas[replica_id]
+        if replica.generation != generation:
+            return  # stale: the replica crashed and was re-provisioned since
+        replica.mark_up(now)
+        if replica.available:
+            self.peak_replicas = max(self.peak_replicas, len(self.live_replicas()))
+            stranded, self._books.stranded = self._books.stranded, []
+            for idx in stranded:
+                self._route(idx, now)
+
+    def _handle_crash(self, replica_id: int, now: float) -> None:
+        replica = self.replicas[replica_id]
+        if replica.state == ReplicaState.DOWN:
+            return
+        books = self._books
+        for idx in replica.crash(now):
+            req = books.requests[idx]
+            req.completion_s = float("nan")
+            req.route = Route.BATCHED
+            req.batch_size = 0
+            req.replica_id = -1
+            req.retries += 1
+            self._route(idx, now)
+
+    def _handle_recover(self, replica_id: int, now: float) -> None:
+        replica = self.replicas[replica_id]
+        if replica.state != ReplicaState.DOWN:
+            return
+        replica.provision(now)
+        self._push(now + self.recover_warmup_s, _EV_UP, (replica_id, replica.generation))
+
+    def _handle_tick(self, now: float) -> None:
+        books = self._books
+        self.autoscaler.tick(self, now)
+        settled = not books.stranded and all(
+            req.done or req.route == Route.SHED for req in books.requests
+        )
+        if settled:
+            return
+        # Reschedule only while progress is still possible: some other
+        # event is pending, or a live replica can finish/receive work.
+        # Otherwise (e.g. every replica crashed with no recovery
+        # scheduled) the loop must drain so stranded requests end the
+        # trace as unserved instead of ticking forever.
+        others_pending = any(kind != _EV_TICK for _, kind, _, _ in self._heap)
+        if others_pending or self.live_replicas():
+            self._push(now + self.autoscaler.config.interval_s, _EV_TICK, None)
+
+    # ------------------------------------------------------------------ #
+    # dispatch
+    # ------------------------------------------------------------------ #
+    def _route(self, i: int, now: float) -> None:
+        ups = self.up_replicas()
+        if not ups:
+            self._books.stranded.append(i)
+            return
+        replica = self.policy.choose(ups, now, self.rng)
+        replica.batcher.add(i, now)
+        if replica.batcher.should_flush(now):
+            self._dispatch(replica, replica.batcher.flush(), now)
+
+    def _dispatch(self, replica: Replica, indices: list[int], flush_s: float) -> None:
+        books = self._books
+        decision = replica.backend.route(books.images[indices])
+        if decision is not None:
+            forced = [
+                pos for pos, idx in enumerate(indices) if books.requests[idx].degraded
+            ]
+            if forced:
+                easy = decision.easy.copy()
+                easy[forced] = True
+                decision = RouteDecision(
+                    easy=easy, entropy=decision.entropy, predictions=decision.predictions
+                )
+        n_hard = decision.n_hard if decision is not None else 0
+        service = replica.backend.batch_service_s(len(indices), n_hard)
+        start = max(flush_s, replica.worker_free_s)
+        completion = start + service
+        batch = InFlightBatch(
+            indices=tuple(indices),
+            decision=decision,
+            start_s=start,
+            completion_s=completion,
+        )
+        replica.commit(batch)
+        for pos, idx in enumerate(indices):
+            req = books.requests[idx]
+            req.completion_s = completion
+            req.batch_size = len(indices)
+            req.replica_id = replica.replica_id
+            if decision is None:
+                req.route = Route.BATCHED
+            else:
+                req.route = Route.EASY if decision.easy[pos] else Route.HARD
+            books.completions.append((completion, idx))
+            if books.keys is not None:
+                heapq.heappush(books.visibility, (completion, books.keys[idx], idx))
+
+    # ------------------------------------------------------------------ #
+    # real inference + reporting
+    # ------------------------------------------------------------------ #
+    def _fill_predictions(self, books: _Books) -> None:
+        """Run each surviving batch through its replica's real model.
+
+        Crash-cancelled batches never reach ``books.finished``, so every
+        request is predicted at most once — by the batch that actually
+        completed for it on the virtual timeline.
+        """
+        for replica, batch in books.finished:
+            indices = list(batch.indices)
+            preds = replica.backend.predict(books.images[indices], batch.decision)
+            for pos, idx in enumerate(indices):
+                books.requests[idx].prediction = int(preds[pos])
+        for req in books.requests:
+            if req.route == Route.CACHED:
+                req.prediction = books.requests[req.source_id].prediction
+
+    def _report(
+        self,
+        books: _Books,
+        arrival_s: np.ndarray,
+        labels: np.ndarray | None,
+        scenario: str,
+    ) -> ClusterReport:
+        requests = books.requests
+        served = [r for r in requests if r.done]
+        n_shed = sum(r.route == Route.SHED for r in requests)
+        n_unserved = len(requests) - len(served) - n_shed
+        sojourn = np.array([r.sojourn_s for r in served])
+        if served:
+            last = max(r.completion_s for r in served)
+            makespan = last - float(arrival_s[0])
+            p50, p95, p99 = latency_percentiles(sojourn)
+            mean_s, max_s = float(sojourn.mean()), float(sojourn.max())
+            attained = int((sojourn <= self.slo_s).sum())
+        else:
+            makespan = float(arrival_s[-1] - arrival_s[0])
+            p50 = p95 = p99 = mean_s = max_s = float("nan")
+            attained = 0
+        end_s = float(arrival_s[0]) + makespan
+        for replica in self.replicas:
+            replica.bill_to(end_s)
+        replica_seconds = sum(r.up_seconds for r in self.replicas)
+        busy = sum(r.busy_s for r in self.replicas)
+        batch_sizes = [len(b.indices) for _, b in books.finished]
+        span = float(arrival_s[-1] - arrival_s[0])
+        accuracy = float("nan")
+        if labels is not None and served:
+            labels = np.asarray(labels)
+            hits = [int(r.prediction == labels[r.req_id]) for r in served]
+            accuracy = float(np.mean(hits))
+        return ClusterReport(
+            policy=self.policy.name,
+            scenario=scenario,
+            n_requests=len(requests),
+            n_served=len(served),
+            n_shed=n_shed,
+            n_unserved=n_unserved,
+            n_degraded=sum(r.degraded for r in requests),
+            n_retried=sum(r.retries > 0 for r in requests),
+            n_cached=sum(r.route == Route.CACHED for r in requests),
+            n_replicas_start=self.n_replicas_start,
+            peak_replicas=self.peak_replicas,
+            n_replicas_end=len(self.up_replicas()),
+            duration_s=makespan,
+            throughput_rps=len(served) / makespan if makespan > 0 else float("inf"),
+            arrival_rate_hz=(len(requests) - 1) / span if span > 0 else float("inf"),
+            mean_s=mean_s,
+            p50_s=p50,
+            p95_s=p95,
+            p99_s=p99,
+            max_s=max_s,
+            mean_batch_size=float(np.mean(batch_sizes)) if batch_sizes else 0.0,
+            slo_s=self.slo_s,
+            slo_attainment=attained / len(requests) if requests else 0.0,
+            replica_seconds=float(replica_seconds),
+            utilization=busy / replica_seconds if replica_seconds > 0 else 0.0,
+            cache_hit_rate=books.cache.hit_rate,
+            n_crashes=sum(r.n_crashes for r in self.replicas),
+            scale_ups=self.autoscaler.n_scale_ups if self.autoscaler else 0,
+            scale_downs=self.autoscaler.n_scale_downs if self.autoscaler else 0,
+            accuracy=accuracy,
+        )

@@ -1,0 +1,81 @@
+"""Failure injection: replica crash/recover events on the virtual clock.
+
+A fleet comparison that never loses a node measures latency, not
+availability.  These helpers describe mid-trace failures the cluster
+engine replays: a **crash** drops the replica instantly — its pending
+micro-batch and every in-flight batch are lost, and the affected
+requests are re-dispatched through the balancer (visible as retries and
+a fattened tail); a **recover** re-provisions the replica, which pays
+its warm-up before taking traffic again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.rng import as_generator
+
+__all__ = ["CRASH", "RECOVER", "FailureEvent", "crash_window", "poisson_failures"]
+
+CRASH = "crash"
+RECOVER = "recover"
+
+
+@dataclass(frozen=True, order=True)
+class FailureEvent:
+    """One scheduled lifecycle fault: ``kind`` hits ``replica_id`` at ``time_s``."""
+
+    time_s: float
+    replica_id: int
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError(f"failure time must be >= 0, got {self.time_s}")
+        if self.replica_id < 0:
+            raise ValueError(f"replica_id must be >= 0, got {self.replica_id}")
+        if self.kind not in (CRASH, RECOVER):
+            raise ValueError(f"kind must be {CRASH!r} or {RECOVER!r}, got {self.kind!r}")
+
+
+def crash_window(
+    replica_id: int, at_s: float, duration_s: float
+) -> tuple[FailureEvent, FailureEvent]:
+    """A crash at ``at_s`` followed by recovery ``duration_s`` later."""
+    if duration_s <= 0:
+        raise ValueError(f"outage duration must be positive, got {duration_s}")
+    return (
+        FailureEvent(at_s, replica_id, CRASH),
+        FailureEvent(at_s + duration_s, replica_id, RECOVER),
+    )
+
+
+def poisson_failures(
+    n_replicas: int,
+    horizon_s: float,
+    mtbf_s: float,
+    mttr_s: float,
+    rng=None,
+) -> tuple[FailureEvent, ...]:
+    """Sample independent crash/repair cycles for every replica.
+
+    Each replica alternates exponential up-times (mean ``mtbf_s``) and
+    exponential outages (mean ``mttr_s``) over ``[0, horizon_s)`` — the
+    standard renewal model behind "nines" arithmetic, here made
+    replayable on the virtual clock.
+    """
+    if n_replicas <= 0:
+        raise ValueError(f"n_replicas must be positive, got {n_replicas}")
+    if horizon_s <= 0 or mtbf_s <= 0 or mttr_s <= 0:
+        raise ValueError("horizon_s, mtbf_s, and mttr_s must all be positive")
+    rng = as_generator(rng)
+    events: list[FailureEvent] = []
+    for replica_id in range(n_replicas):
+        t = float(rng.exponential(mtbf_s))
+        while t < horizon_s:
+            outage = float(rng.exponential(mttr_s))
+            events.append(FailureEvent(t, replica_id, CRASH))
+            if t + outage < horizon_s:
+                events.append(FailureEvent(t + outage, replica_id, RECOVER))
+            t += outage + float(rng.exponential(mtbf_s))
+    return tuple(sorted(events))

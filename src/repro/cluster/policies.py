@@ -1,0 +1,142 @@
+"""Pluggable load-balancing policies for the fleet dispatcher.
+
+Each policy answers one question: *which UP replica takes the request
+arriving now?*  The signals they read differ in cost and quality, which
+is exactly the trade the fleet experiment measures:
+
+* **round-robin** — no signal at all; cycles the fleet.  The classic
+  baseline, and visibly wrong for heterogeneous fleets (a Raspberry Pi
+  gets the same share as a K80).
+* **least-outstanding-requests** — global minimum of admitted-but-not-
+  completed requests.  Strong, but needs fresh state from *every*
+  replica on every decision.
+* **join-shortest-queue** — global minimum of requests not yet in
+  service (pending micro-batch + dispatched-but-waiting).  Ignores work
+  already being served, so it reacts faster to queue build-up but can
+  pile onto a replica grinding through a slow batch.
+* **power-of-two-choices** — sample two random replicas, take the less
+  loaded (by outstanding requests).  Two probes per decision buy most
+  of least-outstanding's tail benefit (Mitzenmacher's classic result),
+  which is why it is the production default of real balancers.
+
+Ties break toward the lowest ``replica_id``, keeping every policy
+deterministic given the cluster's seeded RNG.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.replica import Replica
+
+__all__ = [
+    "LoadBalancer",
+    "RoundRobin",
+    "LeastOutstanding",
+    "JoinShortestQueue",
+    "PowerOfTwoChoices",
+    "POLICY_NAMES",
+    "make_policy",
+]
+
+
+class LoadBalancer:
+    """Base policy: pick one UP replica for the request arriving ``now``."""
+
+    name: str = "base"
+
+    def choose(
+        self, replicas: list[Replica], now: float, rng: np.random.Generator
+    ) -> Replica:
+        """Return the replica that takes the next request.
+
+        ``replicas`` is the non-empty list of currently-UP replicas;
+        ``rng`` is the cluster's seeded generator (used only by
+        randomized policies, so deterministic runs stay deterministic).
+        """
+        raise NotImplementedError
+
+    @staticmethod
+    def _least(replicas: list[Replica], signal) -> Replica:
+        return min(replicas, key=lambda r: (signal(r), r.replica_id))
+
+
+class RoundRobin(LoadBalancer):
+    """Cycle through the fleet in replica order, ignoring load."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(
+        self, replicas: list[Replica], now: float, rng: np.random.Generator
+    ) -> Replica:
+        """Next replica in rotation (membership changes just shift the cycle)."""
+        chosen = replicas[self._next % len(replicas)]
+        self._next += 1
+        return chosen
+
+
+class LeastOutstanding(LoadBalancer):
+    """Send to the replica with the fewest admitted-but-incomplete requests."""
+
+    name = "least-outstanding"
+
+    def choose(
+        self, replicas: list[Replica], now: float, rng: np.random.Generator
+    ) -> Replica:
+        """Global minimum of :meth:`Replica.outstanding` at ``now``."""
+        return self._least(replicas, lambda r: r.outstanding(now))
+
+
+class JoinShortestQueue(LoadBalancer):
+    """Send to the replica with the fewest requests waiting for service."""
+
+    name = "join-shortest-queue"
+
+    def choose(
+        self, replicas: list[Replica], now: float, rng: np.random.Generator
+    ) -> Replica:
+        """Global minimum of :meth:`Replica.queue_depth` at ``now``."""
+        return self._least(replicas, lambda r: r.queue_depth(now))
+
+
+class PowerOfTwoChoices(LoadBalancer):
+    """Probe two random replicas, take the one with fewer outstanding."""
+
+    name = "power-of-two"
+
+    def choose(
+        self, replicas: list[Replica], now: float, rng: np.random.Generator
+    ) -> Replica:
+        """The less-loaded of two uniformly sampled distinct replicas."""
+        if len(replicas) == 1:
+            return replicas[0]
+        i, j = rng.choice(len(replicas), size=2, replace=False)
+        return self._least([replicas[int(i)], replicas[int(j)]], lambda r: r.outstanding(now))
+
+
+POLICY_NAMES: tuple[str, ...] = (
+    RoundRobin.name,
+    LeastOutstanding.name,
+    JoinShortestQueue.name,
+    PowerOfTwoChoices.name,
+)
+
+_POLICIES = {
+    RoundRobin.name: RoundRobin,
+    LeastOutstanding.name: LeastOutstanding,
+    JoinShortestQueue.name: JoinShortestQueue,
+    PowerOfTwoChoices.name: PowerOfTwoChoices,
+}
+
+
+def make_policy(name: str) -> LoadBalancer:
+    """Instantiate a fresh policy by name (see :data:`POLICY_NAMES`)."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown balancing policy {name!r}; choose from {POLICY_NAMES}"
+        ) from None

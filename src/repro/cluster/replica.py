@@ -1,0 +1,223 @@
+"""One serving node of a fleet: a backend plus its local queue state.
+
+A :class:`Replica` is the cluster-level view of what
+:class:`repro.serving.Server` models as a whole process: a
+device-calibrated :class:`~repro.serving.backends.InferenceBackend`
+behind its own :class:`~repro.serving.batcher.MicroBatcher` and a single
+worker.  The fleet engine (:mod:`repro.cluster.engine`) owns the global
+virtual clock and dispatch; the replica owns everything local — pending
+micro-batch, in-flight batches, lifecycle state, and the bookkeeping
+that turns into the report's replica-seconds and availability columns.
+
+Lifecycle::
+
+    WARMING ──warmup done──► UP ──drain──► DRAINING ──queue empty──► DOWN
+       ▲                      │ crash                                  │
+       └───────recover────────┴────────────────────────────────────────┘
+
+Replica-seconds accrue from the moment a replica is provisioned
+(WARMING counts — capacity you pay for before it serves) until it goes
+DOWN, which is how the autoscaler's warm-up cost shows up in the fleet
+report's cost column.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.serving.backends import InferenceBackend
+from repro.serving.batcher import MicroBatcher
+from repro.serving.router import RouteDecision
+
+__all__ = ["ReplicaState", "InFlightBatch", "Replica"]
+
+
+class ReplicaState:
+    """Lifecycle states of one fleet replica (string constants)."""
+
+    WARMING = "warming"  # provisioned, paying warm-up, not yet serving
+    UP = "up"  # serving traffic
+    DRAINING = "draining"  # finishing its queue, receiving no new requests
+    DOWN = "down"  # crashed or fully drained
+
+    ALL = (WARMING, UP, DRAINING, DOWN)
+
+
+@dataclass(frozen=True)
+class InFlightBatch:
+    """One dispatched micro-batch on a replica's worker.
+
+    ``start_s`` may lie in the future relative to dispatch time (the
+    worker was still busy); ``completion_s = start_s + service``.  A
+    crash before ``completion_s`` cancels the batch and its requests are
+    re-dispatched by the cluster.
+    """
+
+    indices: tuple[int, ...]
+    decision: RouteDecision | None
+    start_s: float
+    completion_s: float
+
+
+@dataclass
+class Replica:
+    """One node of the fleet: backend + micro-batcher + one worker.
+
+    Parameters
+    ----------
+    replica_id:
+        Stable index into the cluster's replica list (also what the
+        balancer's tie-breaking and the report's per-replica rows use).
+    backend:
+        The :class:`~repro.serving.backends.InferenceBackend` that
+        provides routing, service times, and real predictions.
+    max_batch_size, max_wait_s:
+        This replica's micro-batcher triggers (replicas may differ —
+        e.g. a GPU replica batching wider than a Pi).
+    """
+
+    replica_id: int
+    backend: InferenceBackend
+    max_batch_size: int = 16
+    max_wait_s: float = 0.004
+    state: str = ReplicaState.UP
+    batcher: MicroBatcher = field(init=False, repr=False)
+    in_flight: list[InFlightBatch] = field(init=False, repr=False)
+    worker_free_s: float = 0.0
+    busy_s: float = 0.0
+    up_since_s: float | None = 0.0
+    up_seconds: float = 0.0
+    last_completion_s: float = 0.0
+    drain_started_s: float = 0.0
+    n_batches: int = 0
+    n_requests: int = 0
+    n_crashes: int = 0
+    #: Provisioning epoch: bumped on every provision() so stale
+    #: warm-up-complete events from an earlier epoch can be ignored.
+    generation: int = 0
+
+    def __post_init__(self) -> None:
+        self.batcher = MicroBatcher(self.max_batch_size, self.max_wait_s)
+        self.in_flight = []
+        if self.state == ReplicaState.DOWN:
+            self.up_since_s = None
+
+    # ------------------------------------------------------------------ #
+    # balancer / autoscaler signals
+    # ------------------------------------------------------------------ #
+    def outstanding(self, now: float) -> int:
+        """Requests admitted to this replica but not yet completed."""
+        return len(self.batcher) + sum(
+            len(b.indices) for b in self.in_flight if b.completion_s > now
+        )
+
+    def queue_depth(self, now: float) -> int:
+        """Requests waiting (pending batch + dispatched but not started)."""
+        return len(self.batcher) + sum(
+            len(b.indices) for b in self.in_flight if b.start_s > now
+        )
+
+    @property
+    def available(self) -> bool:
+        """Whether the balancer may send this replica new requests."""
+        return self.state == ReplicaState.UP
+
+    # ------------------------------------------------------------------ #
+    # dispatch bookkeeping (the cluster computes the batch, we record it)
+    # ------------------------------------------------------------------ #
+    def commit(self, batch: InFlightBatch) -> None:
+        """Record one dispatched batch and occupy the worker."""
+        self.in_flight.append(batch)
+        self.worker_free_s = batch.completion_s
+        self.busy_s += batch.completion_s - batch.start_s
+        self.last_completion_s = max(self.last_completion_s, batch.completion_s)
+        self.n_batches += 1
+        self.n_requests += len(batch.indices)
+
+    def purge(self, now: float) -> list[InFlightBatch]:
+        """Move batches completed by ``now`` out of the in-flight set.
+
+        Also finalizes a drain: a DRAINING replica whose batcher and
+        in-flight set are both empty goes DOWN, billed up to the moment
+        its last batch completed (not up to ``now``).
+        """
+        done = [b for b in self.in_flight if b.completion_s <= now]
+        if done:
+            self.in_flight = [b for b in self.in_flight if b.completion_s > now]
+        if (
+            self.state == ReplicaState.DRAINING
+            and not self.in_flight
+            and not self.batcher
+        ):
+            down_at = max(self.drain_started_s, self.last_completion_s)
+            self._close_books(down_at)
+            self.state = ReplicaState.DOWN
+        return done
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def provision(self, now: float) -> None:
+        """Start paying for this replica (spawn or recover → WARMING)."""
+        if self.state != ReplicaState.DOWN:
+            raise RuntimeError(
+                f"replica {self.replica_id} cannot be provisioned while {self.state}"
+            )
+        self.state = ReplicaState.WARMING
+        self.generation += 1
+        self.up_since_s = now
+        self.worker_free_s = now
+
+    def mark_up(self, now: float) -> None:
+        """Warm-up finished: start receiving traffic."""
+        if self.state != ReplicaState.WARMING:
+            return  # cancelled by a crash while warming
+        self.state = ReplicaState.UP
+        self.worker_free_s = max(self.worker_free_s, now)
+
+    def start_drain(self, now: float) -> None:
+        """Stop receiving new requests; finish the local queue, then DOWN."""
+        if self.state not in (ReplicaState.UP, ReplicaState.WARMING):
+            return
+        self.state = ReplicaState.DRAINING
+        self.drain_started_s = now
+        self.purge(now)
+
+    def crash(self, now: float) -> list[int]:
+        """Fail immediately; return the request ids whose work was lost.
+
+        The caller must :meth:`purge` the cluster clock up to ``now``
+        first, so every batch still in flight here is cancelled work.
+        """
+        lost = list(self.batcher.flush()) if self.batcher else []
+        for batch in self.in_flight:
+            lost.extend(batch.indices)
+            # Roll back the commit-time billing for the part of the
+            # batch that never ran: only work executed before the crash
+            # counts as busy, and the cancelled completion must not leak
+            # into drain/bill_to accounting.
+            self.busy_s -= batch.completion_s - max(now, batch.start_s)
+        self.in_flight = []
+        self.last_completion_s = min(self.last_completion_s, now)
+        self._close_books(now)
+        self.state = ReplicaState.DOWN
+        self.worker_free_s = now
+        self.n_crashes += 1
+        return lost
+
+    def bill_to(self, now: float) -> None:
+        """Close the replica-seconds books at end of simulation."""
+        if self.state != ReplicaState.DOWN:
+            self._close_books(max(now, self.last_completion_s))
+
+    def _close_books(self, down_at: float) -> None:
+        if self.up_since_s is not None:
+            self.up_seconds += max(0.0, down_at - self.up_since_s)
+            self.up_since_s = None
+
+    def next_deadline_s(self) -> float:
+        """Virtual time of this replica's pending deadline flush (inf if none)."""
+        if self.state not in (ReplicaState.UP, ReplicaState.DRAINING):
+            return math.inf
+        return self.batcher.deadline_s

@@ -5,6 +5,7 @@ from repro.eval.metrics import (
     confusion_matrix,
     per_class_accuracy,
     speedup,
+    latency_percentiles,
     LatencyStats,
 )
 from repro.eval.tables import Table, format_table
@@ -17,6 +18,7 @@ __all__ = [
     "confusion_matrix",
     "per_class_accuracy",
     "speedup",
+    "latency_percentiles",
     "LatencyStats",
     "Table",
     "format_table",

@@ -6,7 +6,36 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["accuracy", "confusion_matrix", "per_class_accuracy", "speedup", "LatencyStats"]
+__all__ = [
+    "accuracy",
+    "confusion_matrix",
+    "per_class_accuracy",
+    "speedup",
+    "latency_percentiles",
+    "LatencyStats",
+]
+
+
+def latency_percentiles(
+    samples_s, qs: tuple[float, ...] = (50.0, 95.0, 99.0)
+) -> tuple[float, ...]:
+    """Latency percentiles of a sample, as plain floats.
+
+    The one place the repo computes sojourn/latency percentiles: the
+    M/D/1 simulation (:mod:`repro.hw.serving`), the serving engine
+    (:mod:`repro.serving.engine`), the cluster report
+    (:mod:`repro.cluster.engine`), and :class:`LatencyStats` all call
+    this instead of repeating ``np.percentile`` triplets.
+
+    Returns one float per entry of ``qs`` (default p50/p95/p99), so the
+    common call site reads ``p50, p95, p99 = latency_percentiles(sojourn)``.
+    """
+    samples = np.asarray(samples_s, dtype=np.float64)
+    if samples.size == 0:
+        raise ValueError("need at least one latency sample")
+    if not qs:
+        raise ValueError("need at least one percentile")
+    return tuple(float(v) for v in np.percentile(samples, qs))
 
 
 def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
@@ -61,12 +90,11 @@ class LatencyStats:
     @classmethod
     def from_samples(cls, samples: np.ndarray) -> "LatencyStats":
         samples = np.asarray(samples, dtype=np.float64)
-        if samples.size == 0:
-            raise ValueError("need at least one latency sample")
+        p50, p95 = latency_percentiles(samples, (50.0, 95.0))
         return cls(
             mean=float(samples.mean()),
-            p50=float(np.percentile(samples, 50)),
-            p95=float(np.percentile(samples, 95)),
+            p50=p50,
+            p95=p95,
             minimum=float(samples.min()),
             maximum=float(samples.max()),
             n=int(samples.size),

@@ -24,6 +24,7 @@ DEFAULT_SECTIONS: tuple[tuple[str, str], ...] = (
     ("future_work_variants", "Future work (§V) — generalized / encoder-only CBNet"),
     ("serving_tails", "Extension — tail latency under load"),
     ("serving_engine", "Extension — batched serving engine (repro.serving)"),
+    ("fleet_cluster", "Extension — fleet-scale cluster serving (repro.cluster)"),
 )
 
 

@@ -15,7 +15,7 @@ import numpy as np
 from repro.core.pipeline import PipelineArtifacts
 from repro.eval.metrics import accuracy, speedup
 from repro.hw.device import DeviceProfile
-from repro.hw.devices import DEVICES
+from repro.hw.devices import device_profiles
 from repro.hw.energy import energy_joules, energy_savings_percent
 from repro.hw.latency import branchynet_expected_latency, cbnet_latency, lenet_latency
 from repro.models.lenet import LeNet
@@ -66,7 +66,7 @@ def evaluate_dataset(
     devices: dict[str, DeviceProfile] | None = None,
 ) -> DatasetEvaluation:
     """Produce every Table-II cell for one dataset."""
-    devices = devices or DEVICES()
+    devices = devices or device_profiles()
     test = artifacts.datasets["test"]
     images, labels = test.images, test.labels
     name = artifacts.config.dataset

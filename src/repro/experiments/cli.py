@@ -8,6 +8,7 @@ Examples
     cbnet-experiment fig5
     cbnet-experiment scalability --dataset fmnist
     cbnet-experiment serve --fast --scenario bursty
+    cbnet-experiment fleet --fast
     cbnet-experiment all --fast
 """
 
@@ -25,6 +26,7 @@ from repro.experiments.ablations import (
 from repro.experiments.common import DATASETS
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig5 import run_fig5
+from repro.experiments.fleet import FLEET_SCENARIOS, run_fleet_comparison
 from repro.experiments.scalability import run_scalability
 from repro.experiments.serve import SCENARIOS, run_serving_comparison
 from repro.experiments.table1 import run_table1
@@ -49,6 +51,7 @@ def main(argv: list[str] | None = None) -> int:
             "scalability",
             "ablations",
             "serve",
+            "fleet",
             "report",
             "all",
         ],
@@ -58,14 +61,28 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--scenario",
-        choices=(*SCENARIOS, "all"),
+        choices=(*SCENARIOS, *FLEET_SCENARIOS, "all"),
         default="all",
-        help="load shape for the serving engine (serve only)",
+        help="load shape for the serving engine (serve/fleet only)",
     )
     parser.add_argument(
         "--workers", type=int, default=1, help="serving worker replicas (serve only)"
     )
     args = parser.parse_args(argv)
+
+    # A --scenario belonging to the *other* serving experiment is a user
+    # error when one experiment was named explicitly ("all" falls back to
+    # each experiment's full scenario set instead).
+    if args.experiment == "serve" and args.scenario not in (*SCENARIOS, "all"):
+        parser.error(
+            f"--scenario {args.scenario} applies to 'fleet'; "
+            f"'serve' offers {SCENARIOS}"
+        )
+    if args.experiment == "fleet" and args.scenario not in (*FLEET_SCENARIOS, "all"):
+        parser.error(
+            f"--scenario {args.scenario} applies to 'serve'; "
+            f"'fleet' offers {FLEET_SCENARIOS}"
+        )
 
     datasets = (args.dataset,) if args.dataset else DATASETS
 
@@ -85,7 +102,7 @@ def main(argv: list[str] | None = None) -> int:
         for name in datasets:
             emit(run_scalability(name, fast=args.fast, seed=args.seed).render())
     if args.experiment in ("serve", "all"):
-        scenarios = SCENARIOS if args.scenario == "all" else (args.scenario,)
+        scenarios = (args.scenario,) if args.scenario in SCENARIOS else SCENARIOS
         emit(
             run_serving_comparison(
                 fast=args.fast,
@@ -93,6 +110,20 @@ def main(argv: list[str] | None = None) -> int:
                 dataset=args.dataset or "mnist",
                 scenarios=scenarios,
                 n_workers=args.workers,
+            ).render()
+        )
+    if args.experiment in ("fleet", "all"):
+        scenarios = (
+            FLEET_SCENARIOS
+            if args.scenario == "all" or args.scenario not in FLEET_SCENARIOS
+            else (args.scenario,)
+        )
+        emit(
+            run_fleet_comparison(
+                fast=args.fast,
+                seed=args.seed,
+                dataset=args.dataset or "mnist",
+                scenarios=scenarios,
             ).render()
         )
     if args.experiment in ("ablations", "all"):

@@ -20,7 +20,7 @@ from repro.eval.figures import Series, ascii_line_chart
 from repro.eval.metrics import accuracy
 from repro.eval.tables import Table
 from repro.experiments.common import pipeline_for, scale_for
-from repro.hw.devices import DEVICES
+from repro.hw.devices import device_profiles
 from repro.hw.latency import branchynet_expected_latency, cbnet_latency
 from repro.utils.rng import as_generator, derive_seed
 
@@ -101,7 +101,7 @@ def run_scalability(
         scale = scale_for(fast)
         artifacts = pipeline_for(dataset, scale, seed=seed)
     test = artifacts.datasets["test"]
-    devices = DEVICES()
+    devices = device_profiles()
     rng = as_generator(derive_seed(seed, dataset, "scalability"))
 
     result = ScalabilityResult(dataset=dataset)

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.eval.tables import Table
-from repro.hw.devices import DEVICES
+from repro.hw.devices import device_profiles
 from repro.hw.flops import stage_cost
 from repro.models.autoencoder import TABLE1_SPECS, ConvertingAutoencoder
 
@@ -63,7 +63,7 @@ def run_table1() -> Table1Result:
         total_params = model.num_parameters()
         enc = stage_cost("encoder", model.encoder, (spec.input_dim,))
         dec = stage_cost("decoder", model.decoder, enc.out_shape)
-        for dev_name, device in DEVICES().items():
+        for dev_name, device in device_profiles().items():
             lat_ms = (device.stage_latency(enc) + device.stage_latency(dec)) * 1e3
             rows.append(
                 {

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from repro.eval.runner import DatasetEvaluation, evaluate_dataset
 from repro.eval.tables import Table
 from repro.experiments.common import DATASETS, lenet_for, pipeline_for, scale_for
-from repro.hw.devices import DEVICES
+from repro.hw.devices import device_profiles
 
 __all__ = ["Table2Result", "run_table2"]
 
@@ -74,7 +74,7 @@ def run_table2(
 ) -> Table2Result:
     """Regenerate every cell of Table II."""
     scale = scale_for(fast)
-    devices = DEVICES()
+    devices = device_profiles()
     result = Table2Result()
     for name in datasets:
         artifacts = pipeline_for(name, scale, seed=seed)

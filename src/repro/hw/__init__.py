@@ -18,6 +18,7 @@ from repro.hw.flops import LayerCost, StageCost, layer_cost, stage_cost, model_c
 from repro.hw.device import DeviceProfile
 from repro.hw.devices import (
     DEVICES,
+    device_profiles,
     raspberry_pi4,
     gci_cpu,
     gci_gpu,
@@ -44,6 +45,7 @@ __all__ = [
     "model_cost",
     "DeviceProfile",
     "DEVICES",
+    "device_profiles",
     "raspberry_pi4",
     "gci_cpu",
     "gci_gpu",

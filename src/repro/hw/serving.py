@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.eval.metrics import latency_percentiles
 from repro.utils.rng import as_generator
 
 __all__ = ["ServingStats", "simulate_serving", "bimodal_service_sampler"]
@@ -88,11 +89,12 @@ def simulate_serving(
         completions[i] = prev
     sojourn = completions - arrivals
     busy = services.sum() / completions[-1]
+    p50, p95, p99 = latency_percentiles(sojourn)
     return ServingStats(
         mean_s=float(sojourn.mean()),
-        p50_s=float(np.percentile(sojourn, 50)),
-        p95_s=float(np.percentile(sojourn, 95)),
-        p99_s=float(np.percentile(sojourn, 99)),
+        p50_s=p50,
+        p95_s=p95,
+        p99_s=p99,
         max_s=float(sojourn.max()),
         utilization=float(busy),
         n_requests=n_requests,

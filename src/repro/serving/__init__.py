@@ -19,6 +19,8 @@ Quick tour::
 from repro.serving.arrivals import (
     bursty_arrivals,
     constant_arrivals,
+    diurnal_arrivals,
+    flash_crowd_arrivals,
     poisson_arrivals,
     trace_arrivals,
     zipf_popularity,
@@ -57,6 +59,8 @@ __all__ = [
     "poisson_arrivals",
     "constant_arrivals",
     "bursty_arrivals",
+    "diurnal_arrivals",
+    "flash_crowd_arrivals",
     "trace_arrivals",
     "zipf_popularity",
 ]

@@ -19,6 +19,8 @@ __all__ = [
     "poisson_arrivals",
     "constant_arrivals",
     "bursty_arrivals",
+    "diurnal_arrivals",
+    "flash_crowd_arrivals",
     "trace_arrivals",
     "zipf_popularity",
 ]
@@ -88,6 +90,92 @@ def bursty_arrivals(
             out[produced] = t
             produced += 1
         in_burst = not in_burst
+    return out
+
+
+def diurnal_arrivals(
+    mean_rate_hz: float,
+    n: int,
+    period_s: float,
+    depth: float = 0.8,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Sinusoidally modulated Poisson arrivals (a compressed day/night cycle).
+
+    The instantaneous rate is ``mean_rate_hz * (1 + depth * sin(2πt/period_s))``
+    — a smooth swing between off-peak (``1-depth``) and peak (``1+depth``)
+    load, sampled exactly via Lewis–Shedler thinning.  This is the load
+    shape autoscalers exist for: capacity sized for the peak wastes
+    replica-seconds all night, capacity sized for the mean melts every
+    peak.
+    """
+    if mean_rate_hz <= 0:
+        raise ValueError(f"arrival rate must be positive, got {mean_rate_hz}")
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if period_s <= 0:
+        raise ValueError(f"period_s must be positive, got {period_s}")
+    if not 0.0 <= depth < 1.0:
+        raise ValueError(f"depth must be in [0, 1), got {depth}")
+    rng = as_generator(rng)
+    peak = mean_rate_hz * (1.0 + depth)
+    out = np.empty(n, dtype=np.float64)
+    t = 0.0
+    produced = 0
+    while produced < n:
+        t += rng.exponential(1.0 / peak)
+        rate = mean_rate_hz * (1.0 + depth * np.sin(2.0 * np.pi * t / period_s))
+        if rng.random() * peak < rate:
+            out[produced] = t
+            produced += 1
+    return out
+
+
+def flash_crowd_arrivals(
+    base_rate_hz: float,
+    peak_rate_hz: float,
+    n: int,
+    spike_start_s: float,
+    spike_duration_s: float,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Poisson arrivals with one sudden sustained spike (a flash crowd).
+
+    Rate is ``base_rate_hz`` everywhere except the window
+    ``[spike_start_s, spike_start_s + spike_duration_s)``, where it jumps
+    to ``peak_rate_hz`` with no ramp — the step change that separates
+    balancing policies by how badly the slowest replica's queue explodes
+    before the fleet reacts.
+    """
+    if base_rate_hz <= 0:
+        raise ValueError(f"base rate must be positive, got {base_rate_hz}")
+    if peak_rate_hz < base_rate_hz:
+        raise ValueError(
+            f"peak rate {peak_rate_hz} must be >= base rate {base_rate_hz}"
+        )
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if spike_start_s < 0 or spike_duration_s <= 0:
+        raise ValueError("spike_start_s must be >= 0 and spike_duration_s positive")
+    rng = as_generator(rng)
+    spike_end_s = spike_start_s + spike_duration_s
+    out = np.empty(n, dtype=np.float64)
+    t = 0.0
+    produced = 0
+    while produced < n:
+        rate = peak_rate_hz if spike_start_s <= t < spike_end_s else base_rate_hz
+        t_next = t + rng.exponential(1.0 / rate)
+        # Memoryless: a draw crossing a rate boundary restarts at the
+        # boundary under the new rate instead of being kept.
+        if t < spike_start_s < t_next:
+            t = spike_start_s
+            continue
+        if t < spike_end_s <= t_next and t >= spike_start_s:
+            t = spike_end_s
+            continue
+        t = t_next
+        out[produced] = t
+        produced += 1
     return out
 
 

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.eval.metrics import latency_percentiles
 from repro.eval.tables import Table
 from repro.parallel.pool import parallel_map
 from repro.serving.backends import InferenceBackend
@@ -312,6 +313,7 @@ class Server:
         if labels is not None:
             preds = np.array([r.prediction for r in requests])
             accuracy = float((preds == np.asarray(labels)).mean())
+        p50, p95, p99 = latency_percentiles(sojourn)
         return ServingReport(
             backend=self.backend.name,
             scenario=scenario,
@@ -321,9 +323,9 @@ class Server:
             throughput_rps=len(requests) / makespan if makespan > 0 else float("inf"),
             arrival_rate_hz=(len(requests) - 1) / span if span > 0 else float("inf"),
             mean_s=float(sojourn.mean()),
-            p50_s=float(np.percentile(sojourn, 50)),
-            p95_s=float(np.percentile(sojourn, 95)),
-            p99_s=float(np.percentile(sojourn, 99)),
+            p50_s=p50,
+            p95_s=p95,
+            p99_s=p99,
             max_s=float(sojourn.max()),
             utilization=busy_s / (self.n_workers * makespan) if makespan > 0 else 0.0,
             mean_batch_size=mean_batch,

@@ -23,8 +23,9 @@ class Route:
     CACHED = "cached"  # answered from the LRU result cache
     EASY = "easy"  # batched, took the early/lightweight path
     HARD = "hard"  # batched, entropy-flagged → full-exit path
+    SHED = "shed"  # rejected by cluster admission control (never served)
 
-    ALL = (BATCHED, CACHED, EASY, HARD)
+    ALL = (BATCHED, CACHED, EASY, HARD, SHED)
 
 
 @dataclass
@@ -49,6 +50,15 @@ class Request:
     source_id:
         For cache hits: the ``req_id`` whose stored result answered this
         request; ``-1`` otherwise.
+    replica_id:
+        Fleet serving (:mod:`repro.cluster`): which replica served the
+        request; ``-1`` for single-server runs and unserved requests.
+    degraded:
+        Fleet serving: the admission controller forced this request down
+        the early/lightweight path under overload.
+    retries:
+        Fleet serving: how many times the request was re-dispatched
+        after a replica crash cancelled its batch.
     """
 
     req_id: int
@@ -58,6 +68,9 @@ class Request:
     route: str = Route.BATCHED
     batch_size: int = 0
     source_id: int = -1
+    replica_id: int = -1
+    degraded: bool = False
+    retries: int = 0
 
     @property
     def sojourn_s(self) -> float:

@@ -1,0 +1,98 @@
+"""Balancer policy semantics on hand-built replica states."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.policies import (
+    POLICY_NAMES,
+    JoinShortestQueue,
+    LeastOutstanding,
+    PowerOfTwoChoices,
+    RoundRobin,
+    make_policy,
+)
+from repro.cluster.replica import InFlightBatch, Replica
+
+from conftest import SumBackend
+
+
+def replica_with_load(replica_id, pending=0, in_service=0, waiting=0, now=1.0):
+    """A replica with `pending` batcher entries, `in_service` requests in a
+    started batch, and `waiting` requests in a not-yet-started batch."""
+    r = Replica(replica_id, SumBackend(), max_batch_size=64, max_wait_s=1.0)
+    for i in range(pending):
+        r.batcher.add(i, now)
+    if in_service:
+        r.commit(
+            InFlightBatch(tuple(range(in_service)), None, start_s=now - 0.1, completion_s=now + 1.0)
+        )
+    if waiting:
+        r.commit(
+            InFlightBatch(tuple(range(waiting)), None, start_s=now + 0.5, completion_s=now + 2.0)
+        )
+    return r
+
+
+class TestSignals:
+    def test_outstanding_counts_pending_and_in_flight(self):
+        r = replica_with_load(0, pending=3, in_service=2, waiting=4)
+        assert r.outstanding(1.0) == 9
+
+    def test_queue_depth_excludes_started_batches(self):
+        r = replica_with_load(0, pending=3, in_service=2, waiting=4)
+        assert r.queue_depth(1.0) == 7
+
+    def test_completed_batches_leave_outstanding(self):
+        r = replica_with_load(0, in_service=2)
+        assert r.outstanding(5.0) == 0
+
+
+class TestPolicies:
+    def test_round_robin_cycles(self):
+        rr = RoundRobin()
+        replicas = [replica_with_load(i) for i in range(3)]
+        rng = np.random.default_rng(0)
+        picks = [rr.choose(replicas, 1.0, rng).replica_id for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_least_outstanding_picks_global_minimum(self):
+        replicas = [
+            replica_with_load(0, pending=5),
+            replica_with_load(1, in_service=1),
+            replica_with_load(2, waiting=8),
+        ]
+        pick = LeastOutstanding().choose(replicas, 1.0, np.random.default_rng(0))
+        assert pick.replica_id == 1
+
+    def test_jsq_ignores_in_service_work(self):
+        replicas = [
+            replica_with_load(0, in_service=10),  # busy but nothing queued
+            replica_with_load(1, pending=1),
+        ]
+        pick = JoinShortestQueue().choose(replicas, 1.0, np.random.default_rng(0))
+        assert pick.replica_id == 0
+
+    def test_ties_break_to_lowest_id(self):
+        replicas = [replica_with_load(2), replica_with_load(0), replica_with_load(1)]
+        pick = LeastOutstanding().choose(replicas, 1.0, np.random.default_rng(0))
+        assert pick.replica_id == 0
+
+    def test_power_of_two_prefers_less_loaded_probe(self):
+        # With two replicas the two probes cover the fleet: the less
+        # loaded one must always win, whatever the rng.
+        replicas = [replica_with_load(0, pending=9), replica_with_load(1)]
+        p2c = PowerOfTwoChoices()
+        for seed in range(10):
+            pick = p2c.choose(replicas, 1.0, np.random.default_rng(seed))
+            assert pick.replica_id == 1
+
+    def test_power_of_two_single_replica(self):
+        replicas = [replica_with_load(7)]
+        pick = PowerOfTwoChoices().choose(replicas, 1.0, np.random.default_rng(0))
+        assert pick.replica_id == 7
+
+    def test_factory_round_trip_and_unknown(self):
+        for name in POLICY_NAMES:
+            assert make_policy(name).name == name
+        with pytest.raises(ValueError):
+            make_policy("random")

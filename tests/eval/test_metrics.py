@@ -7,6 +7,7 @@ from repro.eval.metrics import (
     LatencyStats,
     accuracy,
     confusion_matrix,
+    latency_percentiles,
     per_class_accuracy,
     speedup,
 )
@@ -73,3 +74,31 @@ class TestLatencyStats:
     def test_empty_raises(self):
         with pytest.raises(ValueError):
             LatencyStats.from_samples(np.array([]))
+
+
+class TestLatencyPercentiles:
+    def test_default_triplet_matches_numpy(self):
+        samples = np.linspace(0.0, 1.0, 101)
+        p50, p95, p99 = latency_percentiles(samples)
+        assert p50 == pytest.approx(np.percentile(samples, 50))
+        assert p95 == pytest.approx(np.percentile(samples, 95))
+        assert p99 == pytest.approx(np.percentile(samples, 99))
+
+    def test_custom_percentiles_and_plain_floats(self):
+        (p75,) = latency_percentiles([1.0, 2.0, 3.0, 4.0], (75.0,))
+        assert isinstance(p75, float)
+        assert p75 == pytest.approx(3.25)
+
+    def test_empty_and_no_percentiles_raise(self):
+        with pytest.raises(ValueError):
+            latency_percentiles(np.array([]))
+        with pytest.raises(ValueError):
+            latency_percentiles(np.array([1.0]), ())
+
+    def test_single_call_sites_agree(self):
+        # The hw queue simulation, the serving engine, and LatencyStats
+        # must all report the same percentile convention.
+        samples = np.random.default_rng(0).exponential(1.0, 500)
+        p50, p95 = latency_percentiles(samples, (50.0, 95.0))
+        stats = LatencyStats.from_samples(samples)
+        assert stats.p50 == p50 and stats.p95 == p95

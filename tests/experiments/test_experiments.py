@@ -11,7 +11,7 @@ import pytest
 from repro.eval.runner import evaluate_dataset
 from repro.experiments.scalability import run_scalability
 from repro.experiments.table1 import run_table1
-from repro.hw.devices import DEVICES
+from repro.hw.devices import device_profiles
 from repro.models.autoencoder import TABLE1_SPECS
 
 
@@ -43,13 +43,13 @@ class TestEvaluateDataset:
 
     def test_all_cells_present(self, evaluation):
         for model in ("lenet", "branchynet", "cbnet"):
-            for device in DEVICES():
+            for device in device_profiles():
                 cell = evaluation.cell(model, device)
                 assert cell.latency_ms > 0
                 assert 0 <= cell.accuracy_pct <= 100
 
     def test_cbnet_fastest_everywhere(self, evaluation):
-        for device in DEVICES():
+        for device in device_profiles():
             t_cb = evaluation.cell("cbnet", device).latency_ms
             t_br = evaluation.cell("branchynet", device).latency_ms
             t_le = evaluation.cell("lenet", device).latency_ms
@@ -98,13 +98,13 @@ class TestScalability:
         assert result.points[-1].n_samples == 400  # full test set
 
     def test_total_time_grows_with_ratio(self, result):
-        for device in DEVICES():
+        for device in device_profiles():
             times = [p.cbnet_total_s[device] for p in result.points]
             assert times == sorted(times)
 
     def test_cbnet_time_below_branchynet_time(self, result):
         for p in result.points:
-            for device in DEVICES():
+            for device in device_profiles():
                 assert p.cbnet_total_s[device] < p.branchy_total_s[device]
 
     def test_accuracies_reasonable(self, result):

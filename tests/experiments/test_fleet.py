@@ -1,0 +1,124 @@
+"""Fleet experiment smoke: the full run_fleet_comparison path on a toy
+fleet (no training), including the acceptance-shaped assertions the real
+benchmark makes on trained models."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fleet import FLEET_SCENARIOS, FleetSpec, run_fleet_comparison
+from repro.serving.backends import BatchTiming, InferenceBackend
+from repro.serving.router import RouteDecision
+
+
+class ToyBackend(InferenceBackend):
+    """Constant-rate toy model: label = pixel-sum mod 10."""
+
+    name = "toy"
+
+    def __init__(self, per_item_s, overhead_s=0.0008):
+        super().__init__(BatchTiming(overhead_s=overhead_s, per_item_s=per_item_s))
+
+    def predict(self, images, decision=None):
+        return (images.reshape(images.shape[0], -1).sum(axis=1)).astype(np.int64) % 10
+
+
+class RoutedToy(ToyBackend):
+    """Dynamic toy: images with mean > 0.55 pay a 4x hard path."""
+
+    name = "routed-toy"
+
+    def __init__(self, per_item_s):
+        super().__init__(per_item_s)
+        self.timing = BatchTiming(
+            overhead_s=0.0008,
+            per_item_s=per_item_s,
+            gate_s=0.0002,
+            per_hard_extra_s=3 * per_item_s,
+        )
+
+    def route(self, images):
+        means = images.reshape(images.shape[0], -1).mean(axis=1)
+        return RouteDecision(easy=means <= 0.55, entropy=means)
+
+
+@pytest.fixture(scope="module")
+def toy_comparison():
+    rng = np.random.default_rng(0)
+    images = rng.random((400, 1, 4, 4)).astype(np.float32)
+    labels = (images.reshape(400, -1).sum(axis=1)).astype(np.int64) % 10
+    spec = FleetSpec(
+        # pi-ish / cpu-ish / gpu-ish per-item times: an 18x spread, like
+        # the calibrated testbeds.
+        backends=(ToyBackend(0.004), ToyBackend(0.0006), ToyBackend(0.0002)),
+        spawn_backend=lambda: ToyBackend(0.0006),
+        degrade_backends=(RoutedToy(0.004), RoutedToy(0.0006), RoutedToy(0.0002)),
+    )
+    return run_fleet_comparison(
+        fast=True, seed=0, n_requests=1200, fleet=spec, images=images, labels=labels
+    )
+
+
+class TestPolicyGrid:
+    def test_all_scenarios_and_policies_present(self, toy_comparison):
+        assert set(toy_comparison.policy_reports) == set(FLEET_SCENARIOS)
+        for reports in toy_comparison.policy_reports.values():
+            assert len(reports) == 4
+            for r in reports:
+                assert r.n_requests == 1200
+                assert r.accuracy == 1.0  # toy predictions really ran
+
+    def test_same_trace_per_scenario(self, toy_comparison):
+        for reports in toy_comparison.policy_reports.values():
+            rates = {round(r.arrival_rate_hz, 6) for r in reports}
+            assert len(rates) == 1
+
+    def test_power_of_two_beats_round_robin_tail_in_flash_crowd(self, toy_comparison):
+        rr = toy_comparison.report_for("flash-crowd", "round-robin")
+        p2c = toy_comparison.report_for("flash-crowd", "power-of-two")
+        assert p2c.p99_s < rr.p99_s
+
+    def test_render_contains_every_study(self, toy_comparison):
+        text = toy_comparison.render()
+        for scenario in FLEET_SCENARIOS:
+            assert scenario in text
+        assert "Autoscaler vs fixed" in text
+        assert "Failure injection" in text
+
+
+class TestAutoscalerStudy:
+    def test_autoscaler_matches_slo_at_lower_cost(self, toy_comparison):
+        fixed, auto = toy_comparison.autoscaler_reports
+        assert auto.slo_attainment >= fixed.slo_attainment
+        assert auto.replica_seconds <= fixed.replica_seconds
+        assert auto.scale_ups > 0
+
+
+class TestFailureStudy:
+    def test_outage_is_visible_and_absorbed(self, toy_comparison):
+        r = toy_comparison.failure_report
+        assert r.n_crashes == 1
+        assert r.n_retried + r.n_degraded > 0  # the outage actually bit
+        assert r.n_unserved == 0  # the fleet absorbed it
+        assert r.availability == 1.0
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(ValueError):
+        run_fleet_comparison(scenarios=("steady", "lunar"))
+
+
+def test_cli_rejects_mismatched_scenario():
+    from repro.experiments.cli import main
+
+    with pytest.raises(SystemExit):
+        main(["serve", "--scenario", "diurnal"])  # fleet-only load shape
+    with pytest.raises(SystemExit):
+        main(["fleet", "--scenario", "bursty"])  # serve-only load shape
+
+
+def test_custom_fleet_requires_images():
+    spec = FleetSpec(
+        backends=(ToyBackend(0.001),), spawn_backend=lambda: ToyBackend(0.001)
+    )
+    with pytest.raises(ValueError):
+        run_fleet_comparison(fleet=spec)

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.cbnet import CBNet
 from repro.hw.devices import (
-    DEVICES,
+    device_profiles,
     PAPER_MNIST_EXIT_RATE,
     TABLE2_MNIST_MS,
     calibrate_device,
@@ -37,7 +37,7 @@ def models():
 
 class TestCalibration:
     def test_profiles_positive(self):
-        for dev in DEVICES().values():
+        for dev in device_profiles().values():
             assert dev.conv_gmacs > 0
             assert dev.dense_gmacs > 0
             assert dev.layer_overhead_s >= 0
@@ -115,7 +115,7 @@ class TestLatencyModel:
 
     def test_cbnet_beats_branchynet_at_paper_operating_point(self, models):
         """The headline Table II relation, device by device."""
-        for dev in DEVICES().values():
+        for dev in device_profiles().values():
             t_cb = cbnet_latency(models["cbnet"], dev).total
             t_br = branchynet_expected_latency(
                 models["branchy"], dev, PAPER_MNIST_EXIT_RATE
@@ -144,3 +144,35 @@ class TestLatencyModel:
         )
         assert cb_delta == pytest.approx(0.0)
         assert br_delta == pytest.approx(1.0)
+
+
+class TestProfileCaching:
+    def test_profiles_memoized_but_mapping_fresh(self):
+        first, second = device_profiles(), device_profiles()
+        assert first is not second  # caller mutations cannot leak
+        for name in first:
+            assert first[name] is second[name]  # calibration ran once
+        first.pop("gci-k80")
+        assert "gci-k80" in device_profiles()
+
+    def test_default_calibration_memoized(self):
+        assert calibrate_device("gci-cpu") is calibrate_device("gci-cpu")
+
+    def test_custom_targets_bypass_the_cache(self):
+        default = calibrate_device("gci-cpu")
+        custom = calibrate_device(
+            "gci-cpu", targets_ms={"lenet": 2.0, "branchynet": 0.6, "cbnet": 0.4}
+        )
+        assert custom is not default
+        assert custom.conv_gmacs != pytest.approx(default.conv_gmacs)
+
+    def test_devices_alias_warns_but_matches(self):
+        import warnings
+
+        from repro.hw.devices import DEVICES
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            via_alias = DEVICES()
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+        assert via_alias == device_profiles()

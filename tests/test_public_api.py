@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.hw",
     "repro.parallel",
     "repro.serving",
+    "repro.cluster",
     "repro.eval",
     "repro.experiments",
     "repro.utils",

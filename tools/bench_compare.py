@@ -37,11 +37,13 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parents[1]
 
 #: Suites whose medians form the recorded baseline: the substrate hot
-#: kernels (conv/GEMM/pooling + fastpath inference) and the serving
-#: engine (throughput / tail latency of the batched server).
+#: kernels (conv/GEMM/pooling + fastpath inference), the serving engine
+#: (throughput / tail latency of the batched server), and the fleet
+#: cluster (end-to-end policy grid + autoscaler + failure studies).
 DEFAULT_SUITES = (
     "benchmarks/test_substrate_kernels.py",
     "benchmarks/test_serving_engine.py",
+    "benchmarks/test_fleet_cluster.py",
 )
 
 _BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")

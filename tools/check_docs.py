@@ -31,7 +31,12 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO / "src"))
 
-REQUIRED_DOCS = ("README.md", "docs/architecture.md", "docs/performance.md")
+REQUIRED_DOCS = (
+    "README.md",
+    "docs/architecture.md",
+    "docs/performance.md",
+    "docs/cluster.md",
+)
 
 
 def check_docs_exist() -> list[str]:
