@@ -3,6 +3,8 @@
 #   make test         tier-1 unit/integration suite (the CI gate)
 #   make fleet-smoke  cluster-layer smoke: policies/autoscaler/failures on
 #                     toy fleets (no training, seconds)
+#   make offload-smoke  offload-layer smoke: network links, partition
+#                     planner, policies, EdgeTier on toy models
 #   make bench-smoke  fast benchmark subset, incl. the serving engine
 #   make bench        full benchmark suite (regenerates benchmarks/results/)
 #   make bench-record record BENCH_<n>.json medians (substrate + serving)
@@ -15,7 +17,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test fleet-smoke bench-smoke bench bench-record bench-check docs-check docs-run lint
+.PHONY: test fleet-smoke offload-smoke bench-smoke bench bench-record bench-check docs-check docs-run lint
 
 test:
 	$(PYTHON) -m pytest tests -x -q
@@ -24,11 +26,16 @@ fleet-smoke:
 	$(PYTHON) -m pytest tests/cluster tests/experiments/test_fleet.py \
 	    tests/serving/test_engine_edge_cases.py -q
 
+offload-smoke:
+	$(PYTHON) -m pytest tests/offload tests/hw/test_network.py \
+	    tests/serving/test_router_edge_cases.py -q
+
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/test_table1_architecture.py \
 	    benchmarks/test_serving_tail_latency.py \
 	    benchmarks/test_serving_engine.py \
-	    benchmarks/test_fleet_cluster.py -q
+	    benchmarks/test_fleet_cluster.py \
+	    benchmarks/test_offload_split.py -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

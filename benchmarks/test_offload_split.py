@@ -1,0 +1,65 @@
+"""Extension bench — edge–cloud offloading (`repro.offload`).
+
+Runs the offload studies end to end on trained models: the partition
+sweep across link presets, the four runtime policies on the pi4 → GCI
+topology over LTE, and the wire-codec comparison.  The asserted claim
+is the subsystem's reason to exist: at a load sized past both the Pi's
+full-model capacity and the LTE uplink's raw-image capacity, only the
+entropy-gated split (easy samples exit on-device, hard samples ship a
+stem activation) keeps its p95 under control.
+"""
+
+from repro.experiments.offload import run_offload_study
+
+from conftest import emit
+
+
+def test_offload_split_study(benchmark, results_dir):
+    study = benchmark.pedantic(
+        lambda: run_offload_study(fast=True, seed=0), rounds=1, iterations=1
+    )
+    emit(results_dir, "offload_split", study.render())
+
+    # The load sizing the claim depends on — fail loudly (and readably)
+    # if device/link calibration drifts rather than asserting into noise.
+    rate = study.arrival_rate_hz
+    assert rate * study.local_mean_s > 1.0, "load must exceed all-local capacity"
+    assert rate * study.uplink_occupancy_s > 1.0, "load must exceed raw-image uplink capacity"
+    assert rate * study.gate_s < 0.95, "gated edge must keep headroom"
+
+    gated = study.report_for("entropy-gated")
+    local = study.report_for("always-local")
+    remote = study.report_for("always-remote")
+
+    # The tentpole claim: the split beats both degenerate placements at
+    # the tail — on-device melts at the Pi, full offload melts at the
+    # uplink, the communication-aware split does neither.
+    assert gated.p95_s < local.p95_s, "gated split should beat always-local p95 on pi4"
+    assert gated.p95_s < remote.p95_s, "gated split should beat always-remote p95 over LTE"
+
+    # Offload rate ~ the hard fraction: real but small, and the uplink
+    # carries orders of magnitude fewer bytes than full offloading.
+    assert 0.0 < gated.offload_rate < 0.5
+    assert gated.uplink_bytes < 0.25 * remote.uplink_bytes
+    assert gated.n_local_easy + gated.n_local_hard + gated.n_offloaded == gated.n_requests
+
+    # Genuine served predictions on both sides of the split.
+    assert gated.accuracy > 0.9
+    assert local.accuracy > 0.9
+
+    # The deadline policy may keep hard work local when the link is the
+    # slower path, but must never do worse than the melting baselines.
+    deadline = study.report_for("deadline-aware")
+    assert deadline.p95_s < local.p95_s
+    assert deadline.p95_s < remote.p95_s
+
+    # Wire codecs: quantized activations shrink the uplink (2x float16,
+    # ~4x affine uint8; the k-means codebook variant pays a 1 KB
+    # overhead per payload so it lands between) and the genuinely-served
+    # accuracy stays within 2 points of float32.
+    f32, f16, u8, km8 = study.codec_reports
+    assert f16.uplink_bytes < 0.6 * f32.uplink_bytes
+    assert u8.uplink_bytes < 0.3 * f32.uplink_bytes
+    assert u8.uplink_bytes < km8.uplink_bytes < f32.uplink_bytes
+    for quantized in (f16, u8, km8):
+        assert quantized.accuracy > f32.accuracy - 0.02

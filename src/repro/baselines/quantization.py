@@ -1,5 +1,12 @@
-"""Weight quantization via k-means weight sharing (Deep Compression,
-Han et al., 2016) — one of the techniques in AdaDeep's search space."""
+"""Quantization machinery: k-means weight sharing and affine codes.
+
+:func:`kmeans_quantize` is Deep Compression's weight sharing (Han et
+al., 2016) — one of the techniques in AdaDeep's search space.
+:func:`affine_quantize` is the standard scale/zero-point integer code;
+it shares this module because the offload wire codecs
+(:class:`repro.offload.policies.TensorCodec`) quantize *activation*
+payloads with it, where an 8-byte header beats shipping a k-means
+codebook per tensor."""
 
 from __future__ import annotations
 
@@ -8,7 +15,7 @@ import numpy as np
 from repro.nn.module import Module
 from repro.utils.rng import as_generator
 
-__all__ = ["kmeans_quantize", "quantize_model"]
+__all__ = ["kmeans_quantize", "affine_quantize", "affine_dequantize", "quantize_model"]
 
 
 def kmeans_quantize(
@@ -49,6 +56,34 @@ def kmeans_quantize(
     assign = np.searchsorted(mids, flat)
     quantized = codebook[assign].reshape(weights.shape).astype(np.float32)
     return quantized, codebook.astype(np.float32)
+
+
+def affine_quantize(
+    tensor: np.ndarray, bits: int = 8
+) -> tuple[np.ndarray, float, float]:
+    """Uniform affine quantization: ``q = round((x - min) / scale)``.
+
+    Returns ``(codes, scale, zero)`` where ``codes`` is an unsigned
+    integer array (uint8 for ``bits <= 8``) and ``x ≈ zero + codes *
+    scale``.  The wire cost is one code per element plus the two-float
+    header — the activation-payload sibling of :func:`kmeans_quantize`'s
+    codebook scheme.
+    """
+    if not 1 <= bits <= 16:
+        raise ValueError(f"bits must be in [1, 16], got {bits}")
+    tensor = np.asarray(tensor, dtype=np.float32)
+    lo, hi = float(tensor.min()), float(tensor.max())
+    dtype = np.uint8 if bits <= 8 else np.uint16
+    if lo == hi:
+        return np.zeros(tensor.shape, dtype=dtype), 0.0, lo
+    scale = (hi - lo) / (2**bits - 1)
+    codes = np.round((tensor - lo) / scale).astype(dtype)
+    return codes, scale, lo
+
+
+def affine_dequantize(codes: np.ndarray, scale: float, zero: float) -> np.ndarray:
+    """Reconstruct float32 values from :func:`affine_quantize` output."""
+    return (zero + codes.astype(np.float32) * np.float32(scale)).astype(np.float32)
 
 
 def quantize_model(

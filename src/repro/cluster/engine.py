@@ -317,6 +317,23 @@ class Cluster:
         columns — shed rate, SLO attainment, replica-seconds,
         availability, retries.
         """
+        report, _ = self.serve_detailed(images, arrival_s, labels, scenario)
+        return report
+
+    def serve_detailed(
+        self,
+        images: np.ndarray,
+        arrival_s: np.ndarray,
+        labels: np.ndarray | None = None,
+        scenario: str = "trace",
+    ) -> tuple[ClusterReport, list[Request]]:
+        """:meth:`serve`, additionally returning the per-request records.
+
+        Same contract as :meth:`repro.serving.Server.serve_detailed`:
+        the request list lets a fronting tier (the edge side of
+        :mod:`repro.offload`) continue each request's timeline after the
+        fleet answered it.
+        """
         if self._served:
             raise RuntimeError(
                 "a Cluster replays one trace (replica billing is per-run); "
@@ -386,7 +403,7 @@ class Cluster:
         self._advance(math.inf)
 
         self._fill_predictions(books)
-        return self._report(books, arrival_s, labels, scenario)
+        return self._report(books, arrival_s, labels, scenario), books.requests
 
     # ------------------------------------------------------------------ #
     # event plumbing

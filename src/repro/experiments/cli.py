@@ -9,6 +9,7 @@ Examples
     cbnet-experiment scalability --dataset fmnist
     cbnet-experiment serve --fast --scenario bursty
     cbnet-experiment fleet --fast
+    cbnet-experiment offload --fast --link lte
     cbnet-experiment all --fast
 """
 
@@ -27,6 +28,7 @@ from repro.experiments.common import DATASETS
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.fleet import FLEET_SCENARIOS, run_fleet_comparison
+from repro.experiments.offload import run_offload_study
 from repro.experiments.scalability import run_scalability
 from repro.experiments.serve import SCENARIOS, run_serving_comparison
 from repro.experiments.table1 import run_table1
@@ -52,6 +54,7 @@ def main(argv: list[str] | None = None) -> int:
             "ablations",
             "serve",
             "fleet",
+            "offload",
             "report",
             "all",
         ],
@@ -67,6 +70,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--workers", type=int, default=1, help="serving worker replicas (serve only)"
+    )
+    parser.add_argument(
+        "--link",
+        choices=("wifi", "lte", "ethernet"),
+        default="lte",
+        help="network preset for the offload policy study (offload only)",
     )
     args = parser.parse_args(argv)
 
@@ -124,6 +133,15 @@ def main(argv: list[str] | None = None) -> int:
                 seed=args.seed,
                 dataset=args.dataset or "mnist",
                 scenarios=scenarios,
+            ).render()
+        )
+    if args.experiment in ("offload", "all"):
+        emit(
+            run_offload_study(
+                fast=args.fast,
+                seed=args.seed,
+                dataset=args.dataset or "mnist",
+                link_name=args.link,
             ).render()
         )
     if args.experiment in ("ablations", "all"):

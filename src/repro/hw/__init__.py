@@ -17,12 +17,19 @@ Tesla K80) are unavailable offline, so latency and energy are *modelled*:
 from repro.hw.flops import LayerCost, StageCost, layer_cost, stage_cost, model_cost
 from repro.hw.device import DeviceProfile
 from repro.hw.devices import (
-    DEVICES,
     device_profiles,
     raspberry_pi4,
     gci_cpu,
     gci_gpu,
     calibrate_device,
+)
+from repro.hw.network import (
+    BandwidthTrace,
+    NetworkLink,
+    ethernet,
+    wifi,
+    lte,
+    network_links,
 )
 from repro.hw.latency import (
     latency_of_stages,
@@ -37,6 +44,22 @@ from repro.hw.monitor import UtilizationMonitor
 from repro.hw.meter import EnergyMeter, MeterReading
 from repro.hw.serving import ServingStats, simulate_serving, bimodal_service_sampler
 
+
+def __getattr__(name: str):
+    """Lazy deprecation shim: ``repro.hw.DEVICES`` resolves on demand.
+
+    The all-caps alias is no longer imported eagerly anywhere — internal
+    call sites all use :func:`device_profiles` — but external code doing
+    ``from repro.hw import DEVICES`` keeps working and gets the
+    :func:`repro.hw.devices.DEVICES` shim, which warns on call.
+    """
+    if name == "DEVICES":
+        from repro.hw.devices import DEVICES
+
+        return DEVICES
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "LayerCost",
     "StageCost",
@@ -50,6 +73,12 @@ __all__ = [
     "gci_cpu",
     "gci_gpu",
     "calibrate_device",
+    "BandwidthTrace",
+    "NetworkLink",
+    "ethernet",
+    "wifi",
+    "lte",
+    "network_links",
     "latency_of_stages",
     "model_latency",
     "branchynet_expected_latency",

@@ -158,8 +158,15 @@ class BranchyLeNet(Module):
                 take_early = ent < threshold
                 batch_preds = probs.argmax(axis=1)
                 if not take_early.all():
-                    hard_idx = np.flatnonzero(~take_early)
-                    hard = shared[hard_idx]  # fancy indexing: fresh contiguous copy
+                    if take_early.any():
+                        hard_idx = np.flatnonzero(~take_early)
+                        hard = shared[hard_idx]  # fancy indexing: fresh contiguous copy
+                    else:
+                        # All-hard batch: the whole stem output continues —
+                        # skip the pointless gather copy (and the empty
+                        # easy sub-batch it would leave behind).
+                        hard_idx = slice(None)
+                        hard = shared
                     if fastpath:
                         trunk_logits = self.inference_plan(
                             hard.shape, self.trunk, key="trunk"
@@ -205,6 +212,34 @@ class BranchyLeNet(Module):
                 entropies[sl] = F.entropy(probs, axis=1)
                 preds[sl] = probs.argmax(axis=1)
         return entropies, preds
+
+    def stem_features(
+        self, images: np.ndarray, batch_size: int = 256, fastpath: bool = True
+    ) -> np.ndarray:
+        """Shared-stem activations for a raw image batch.
+
+        This is the tensor an edge device ships upstream when it
+        offloads a hard sample (:mod:`repro.offload`): the cloud replica
+        resumes from the stem output and runs only the trunk.  Runs the
+        same compiled stem plan as :meth:`infer`/:meth:`branch_gate`.
+        """
+        self.eval()
+        images = np.ascontiguousarray(images, dtype=np.float32)
+        out: np.ndarray | None = None
+        with no_grad():
+            for start in range(0, images.shape[0], batch_size):
+                batch = images[start : start + batch_size]
+                if fastpath:
+                    shared = self.inference_plan(batch.shape, self.stem, key="stem").run(batch)
+                else:
+                    shared = self.stem(Tensor(batch)).data
+                if out is None:
+                    out = np.empty((images.shape[0], *shared.shape[1:]), dtype=np.float32)
+                out[start : start + batch.shape[0]] = shared
+        if out is None:  # empty input batch: derive the stem shape cheaply
+            probe = self.stem(Tensor(np.zeros((1, *images.shape[1:]), dtype=np.float32))).data
+            out = np.empty((0, *probe.shape[1:]), dtype=np.float32)
+        return out
 
     def stages(self) -> list[tuple[str, Sequential]]:
         """Named stages for the FLOPs/latency models."""

@@ -1,0 +1,566 @@
+"""The edge tier: gate on-device, ship hard work upstream, account everything.
+
+:class:`EdgeTier` fronts a cloud serving tier — a single
+:class:`~repro.serving.engine.Server` or a whole
+:class:`~repro.cluster.engine.Cluster` fleet (anything exposing
+``serve_detailed``) — with one weak edge device behind a
+:class:`~repro.hw.network.NetworkLink`.  It replays an arrival trace on
+the shared virtual clock:
+
+1. the edge runs the BranchyNet stem + branch gate (one FIFO compute
+   queue, calibrated per-device latency), unless the policy is
+   full-offload;
+2. an :class:`~repro.offload.policies.OffloadPolicy` decides, per
+   request, local completion vs upstream shipping;
+3. local-easy requests answer at the branch exit; local-hard requests
+   pay the trunk on the edge device;
+4. offloaded requests encode their payload (raw input or stem
+   activation, through the configured
+   :class:`~repro.offload.policies.TensorCodec`), queue on the uplink
+   (serialization occupies the radio; loss retries and jitter are
+   sampled from a seeded generator), and arrive at the cloud tier,
+   which batches and serves them with *real* model inference on the
+   decoded tensors; responses ride the downlink back.
+
+The :class:`OffloadReport` carries the per-request edge / network /
+cloud latency breakdown, offload rate, uplink bytes, edge energy
+(compute at the device's power model + radio at the link's transmit
+power), and genuine end-to-end accuracy — quantized-transfer errors
+show up here, not in a side formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.eval.metrics import latency_percentiles
+from repro.eval.tables import Table
+from repro.hw.device import DeviceProfile
+from repro.hw.energy import energy_joules
+from repro.hw.flops import stage_cost
+from repro.hw.latency import branchynet_expected_latency
+from repro.hw.network import NetworkLink
+from repro.offload.policies import OffloadContext, OffloadPolicy, TensorCodec
+from repro.serving.backends import BatchTiming, InferenceBackend
+from repro.serving.engine import Server
+from repro.serving.router import RouteDecision
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "EdgeTier",
+    "OffloadReport",
+    "RemoteTrunkBackend",
+    "cloud_server_for",
+    "offload_comparison_table",
+]
+
+_FLOAT32_BYTES = 4
+
+
+class RemoteTrunkBackend(InferenceBackend):
+    """Cloud side of an entropy-gated split: trunk-only inference.
+
+    Serves *stem activations* (not images): the edge already paid the
+    stem + branch, so a cloud replica resumes from the partition
+    boundary and runs only the trunk — the communication-aware division
+    of labour the planner prices.  Static pipeline: no router, constant
+    per-item time, which keeps the cloud tail flat.
+    """
+
+    name = "remote-trunk"
+
+    def __init__(self, branchynet, device: DeviceProfile) -> None:
+        stem = stage_cost("stem", branchynet.stem, branchynet.IN_SHAPE)
+        trunk = stage_cost("trunk", branchynet.trunk, stem.out_shape)
+        super().__init__(
+            BatchTiming(
+                overhead_s=device.inference_overhead_s,
+                per_item_s=device.stage_latency(trunk),
+            )
+        )
+        self.branchynet = branchynet
+        self.in_shape = stem.out_shape
+
+    def predict(
+        self, features: np.ndarray, decision: RouteDecision | None = None
+    ) -> np.ndarray:
+        features = np.ascontiguousarray(features, dtype=np.float32)
+        plan = self.branchynet.inference_plan(
+            features.shape, self.branchynet.trunk, key="trunk"
+        )
+        return plan.run(features).argmax(axis=1)
+
+
+def cloud_server_for(
+    policy: OffloadPolicy,
+    branchynet,
+    cloud_device: DeviceProfile,
+    **server_kwargs,
+) -> Server:
+    """A cloud :class:`Server` whose backend matches the policy's payload.
+
+    ``"split"`` payloads get a :class:`RemoteTrunkBackend` (resume from
+    the stem activation); ``"input"`` payloads get a full
+    :class:`~repro.serving.backends.BranchyNetBackend` (classic full
+    offloading of the raw image).
+    """
+    if policy.payload == "split":
+        backend = RemoteTrunkBackend(branchynet, cloud_device)
+    else:
+        from repro.serving.backends import BranchyNetBackend
+
+        backend = BranchyNetBackend(branchynet, cloud_device)
+    return Server(backend, **server_kwargs)
+
+
+@dataclass(frozen=True)
+class OffloadReport:
+    """Everything one edge-tier run produced, ready for tables and asserts."""
+
+    policy: str
+    link: str
+    codec: str
+    scenario: str
+    n_requests: int
+    n_local_easy: int
+    n_local_hard: int
+    n_offloaded: int
+    n_unserved: int  # offloaded but shed/stranded by the cloud tier
+    uplink_bytes: int
+    duration_s: float
+    throughput_rps: float
+    arrival_rate_hz: float
+    mean_s: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    max_s: float
+    edge_mean_s: float  # queue + edge compute, averaged over all requests
+    network_mean_s: float  # uplink + downlink, averaged over offloaded
+    cloud_mean_s: float  # cloud sojourn, averaged over offloaded
+    edge_utilization: float
+    edge_energy_j: float
+    radio_energy_j: float
+    accuracy: float = float("nan")
+    cloud_report: object | None = field(default=None, repr=False)
+
+    @property
+    def offload_rate(self) -> float:
+        return self.n_offloaded / self.n_requests if self.n_requests else 0.0
+
+    @property
+    def uplink_mb(self) -> float:
+        return self.uplink_bytes / 1e6
+
+    @property
+    def total_energy_j(self) -> float:
+        """Edge-side energy: device compute plus radio transmissions."""
+        return self.edge_energy_j + self.radio_energy_j
+
+    @property
+    def energy_mj_per_request(self) -> float:
+        return 1e3 * self.total_energy_j / self.n_requests if self.n_requests else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"[{self.policy}/{self.link}/{self.scenario}] "
+            f"p95 {self.p95_s * 1e3:.1f} ms | offload {self.offload_rate:.1%} | "
+            f"uplink {self.uplink_mb:.2f} MB | "
+            f"edge {self.edge_mean_s * 1e3:.2f} ms | "
+            f"energy {self.energy_mj_per_request:.2f} mJ/req"
+        )
+
+
+def offload_comparison_table(reports: list[OffloadReport], title: str = "") -> Table:
+    """Render several edge-tier runs side by side (one row per policy)."""
+    table = Table(
+        headers=[
+            "policy",
+            "link",
+            "codec",
+            "p50 (ms)",
+            "p95 (ms)",
+            "p99 (ms)",
+            "offload",
+            "uplink (MB)",
+            "edge (ms)",
+            "net (ms)",
+            "cloud (ms)",
+            "mJ/req",
+            "acc",
+        ],
+        title=title,
+    )
+    for r in reports:
+        table.add_row(
+            r.policy,
+            r.link,
+            r.codec,
+            f"{r.p50_s * 1e3:.2f}",
+            f"{r.p95_s * 1e3:.2f}",
+            f"{r.p99_s * 1e3:.2f}",
+            f"{r.offload_rate:.1%}",
+            f"{r.uplink_mb:.2f}",
+            f"{r.edge_mean_s * 1e3:.2f}",
+            "-" if np.isnan(r.network_mean_s) else f"{r.network_mean_s * 1e3:.2f}",
+            "-" if np.isnan(r.cloud_mean_s) else f"{r.cloud_mean_s * 1e3:.2f}",
+            f"{r.energy_mj_per_request:.2f}",
+            "-" if np.isnan(r.accuracy) else f"{r.accuracy:.1%}",
+        )
+    return table
+
+
+# Per-request outcome codes.
+_LOCAL_EASY, _LOCAL_HARD, _OFFLOADED = 0, 1, 2
+
+
+class EdgeTier:
+    """Split inference between one edge device and a cloud serving tier.
+
+    Parameters
+    ----------
+    branchynet:
+        Trained :class:`~repro.models.branchynet.BranchyLeNet`; its stem
+        + branch is the on-device gate, its trunk the offloadable
+        suffix.
+    edge_device:
+        Calibrated edge :class:`~repro.hw.device.DeviceProfile` (one
+        FIFO compute queue).
+    link:
+        The :class:`~repro.hw.network.NetworkLink` between tiers; uplink
+        serialization occupies the radio, so offloads queue on it.
+    cloud:
+        The cloud tier: a :class:`~repro.serving.engine.Server` or
+        :class:`~repro.cluster.engine.Cluster` (anything with
+        ``serve_detailed``).  Its backend must match the policy's
+        payload — see :func:`cloud_server_for`.
+    policy:
+        An :class:`~repro.offload.policies.OffloadPolicy`.
+    codec:
+        Wire format for offloaded tensors
+        (:class:`~repro.offload.policies.TensorCodec`); the cloud serves
+        the *decoded* tensors, so codec error reaches the accuracy
+        column.
+    rng:
+        Seed/generator for link loss and jitter sampling (deterministic
+        replays).
+    cloud_est_s:
+        Expected cloud service time for the deadline policy's remote
+        estimate; inferred from the cloud tier's backend when omitted.
+    """
+
+    def __init__(
+        self,
+        branchynet,
+        edge_device: DeviceProfile,
+        link: NetworkLink,
+        cloud,
+        policy: OffloadPolicy,
+        codec: TensorCodec | None = None,
+        rng: np.random.Generator | int | None = 0,
+        cloud_est_s: float | None = None,
+    ) -> None:
+        if not hasattr(cloud, "serve_detailed"):
+            raise TypeError(
+                f"cloud tier {type(cloud).__name__} lacks serve_detailed(); "
+                "pass a repro.serving.Server or repro.cluster.Cluster"
+            )
+        self.branchynet = branchynet
+        self.edge_device = edge_device
+        self.link = link
+        self.cloud = cloud
+        self.policy = policy
+        self.codec = codec or TensorCodec()
+        self.rng = as_generator(rng)
+        lat = branchynet_expected_latency(branchynet, edge_device, exit_rate=1.0)
+        #: Edge cost of one gate pass (stem + branch + gate decision).
+        self.gate_s = lat.early_path
+        #: Extra edge cost when a hard sample runs the trunk locally.
+        self.trunk_extra_s = lat.full_path - lat.early_path
+        self.cloud_est_s = (
+            self._infer_cloud_est(cloud) if cloud_est_s is None else float(cloud_est_s)
+        )
+
+    @staticmethod
+    def _infer_cloud_est(cloud) -> float:
+        backend = getattr(cloud, "backend", None)  # serving.Server
+        if backend is not None:
+            return backend.mean_service_s()
+        replicas = getattr(cloud, "replicas", None)  # cluster.Cluster
+        if replicas:
+            return min(r.backend.mean_service_s() for r in replicas)
+        return 0.0
+
+    # ------------------------------------------------------------------ #
+    # serving loop
+    # ------------------------------------------------------------------ #
+    def serve(
+        self,
+        images: np.ndarray,
+        arrival_s: np.ndarray,
+        labels: np.ndarray | None = None,
+        scenario: str = "trace",
+    ) -> OffloadReport:
+        """Replay one arrival trace through the edge tier and report.
+
+        Same contract as :meth:`repro.serving.Server.serve`: ``images[i]``
+        arrives at ``arrival_s[i]`` (non-decreasing); ``labels`` adds
+        genuine end-to-end accuracy (branch exits, local trunks, and
+        cloud completions alike).
+        """
+        images = np.asarray(images)
+        arrival_s = np.asarray(arrival_s, dtype=np.float64)
+        if images.shape[0] != arrival_s.shape[0]:
+            raise ValueError(
+                f"{images.shape[0]} images vs {arrival_s.shape[0]} arrival times"
+            )
+        if arrival_s.size == 0:
+            raise ValueError("cannot serve an empty request stream")
+        if np.any(np.diff(arrival_s) < 0):
+            raise ValueError("arrival times must be non-decreasing")
+        n = images.shape[0]
+
+        threshold = float(self.branchynet.entropy_threshold)
+        if self.policy.runs_gate:
+            entropies, branch_preds = self.branchynet.branch_gate(images)
+        else:
+            entropies = np.full(n, np.nan, dtype=np.float64)
+            branch_preds = np.full(n, -1, dtype=np.int64)
+
+        if self.policy.payload == "split":
+            boundary_elems = int(
+                np.prod(stage_cost("stem", self.branchynet.stem, images.shape[1:]).out_shape)
+            )
+        else:
+            boundary_elems = int(np.prod(images.shape[1:]))
+        up_bytes = self.codec.wire_bytes(boundary_elems)
+        down_bytes = int(self.branchynet.num_classes) * _FLOAT32_BYTES
+
+        completion = np.full(n, np.nan)
+        outcome = np.full(n, _LOCAL_EASY, dtype=np.int64)
+        predictions = np.full(n, -1, dtype=np.int64)
+        edge_part = np.zeros(n)  # queue + edge compute, per request
+        net_part = np.full(n, np.nan)  # uplink + downlink, offloaded only
+        cloud_part = np.full(n, np.nan)  # cloud sojourn, offloaded only
+
+        edge_free = 0.0
+        uplink_free = 0.0
+        edge_busy = 0.0
+        radio_busy = 0.0
+        uplink_bytes_total = 0
+        ship: list[tuple[int, float, float]] = []  # (req, ship_ready_s, cloud_arrival_s)
+
+        for i in range(n):
+            arrival = float(arrival_s[i])
+            if self.policy.runs_gate:
+                start = max(arrival, edge_free)
+                gate_done = start + self.gate_s
+                edge_free = gate_done
+                edge_busy += self.gate_s
+                ready = gate_done
+            else:
+                ready = arrival
+            easy = bool(entropies[i] < threshold) if self.policy.runs_gate else False
+            est_local = (ready - arrival) + (0.0 if easy else self.trunk_extra_s)
+            # Link legs are estimated at decision time, so trace-driven
+            # bandwidth degradation reaches the deadline policy directly
+            # instead of only via an already-built uplink backlog.
+            est_remote = (
+                (ready - arrival)
+                + max(0.0, uplink_free - ready)
+                + self.link.expected_one_way_s(up_bytes, time_s=ready)
+                + self.cloud_est_s
+                + self.link.expected_one_way_s(down_bytes, time_s=ready, direction="down")
+            )
+            ctx = OffloadContext(
+                entropy=float(entropies[i]),
+                easy=easy,
+                est_local_s=est_local,
+                est_remote_s=est_remote,
+            )
+            if not self.policy.offload(ctx):
+                edge_part[i] = ready - arrival
+                if easy:
+                    completion[i] = ready
+                    predictions[i] = branch_preds[i]
+                else:
+                    # Hard sample kept local: the trunk runs on the edge.
+                    outcome[i] = _LOCAL_HARD
+                    completion[i] = ready + self.trunk_extra_s
+                    edge_free = completion[i]
+                    edge_busy += self.trunk_extra_s
+                    edge_part[i] += self.trunk_extra_s
+                continue
+            # Offload: serialization occupies the radio; retries and
+            # jitter are sampled (seed-deterministic).
+            outcome[i] = _OFFLOADED
+            edge_part[i] = ready - arrival
+            tx_start = max(ready, uplink_free)
+            transfer = self.link.transfer(up_bytes, time_s=tx_start, rng=self.rng)
+            uplink_free = tx_start + transfer.occupancy_s
+            # Radio energy covers serialization attempts only — the
+            # retransmit-timeout gaps inside occupancy_s are idle air.
+            radio_busy += transfer.tx_s
+            uplink_bytes_total += up_bytes
+            cloud_arrival = uplink_free + transfer.propagation_s
+            ship.append((i, ready, cloud_arrival))
+
+        self._run_local_hard(images, outcome, predictions)
+        cloud_report = self._run_cloud(
+            images, ship, down_bytes, completion, predictions, net_part, cloud_part, scenario
+        )
+
+        accuracy = float("nan")
+        if labels is not None:
+            accuracy = float((predictions == np.asarray(labels)).mean())
+        return self._report(
+            arrival_s,
+            completion,
+            outcome,
+            edge_part,
+            net_part,
+            cloud_part,
+            uplink_bytes_total,
+            edge_busy,
+            radio_busy,
+            accuracy,
+            cloud_report,
+            scenario,
+        )
+
+    # ------------------------------------------------------------------ #
+    # local hard path + cloud tier
+    # ------------------------------------------------------------------ #
+    def _run_local_hard(self, images, outcome, predictions) -> None:
+        """Real trunk predictions for hard samples kept on the edge."""
+        hard_idx = np.flatnonzero(outcome == _LOCAL_HARD)
+        if not hard_idx.size:
+            return
+        result = self.branchynet.infer(images[hard_idx], threshold=-1.0)
+        predictions[hard_idx] = result.predictions
+
+    def _run_cloud(
+        self, images, ship, down_bytes, completion, predictions, net_part, cloud_part, scenario
+    ):
+        """Ship payloads, serve them upstream, ride the downlink back."""
+        if not ship:
+            return None
+        order = sorted(range(len(ship)), key=lambda k: ship[k][2])
+        req_ids = [ship[k][0] for k in order]
+        ready_s = np.array([ship[k][1] for k in order])
+        cloud_arrival = np.array([ship[k][2] for k in order])
+
+        if self.policy.payload == "split":
+            raw = self.branchynet.stem_features(images[req_ids])
+        else:
+            raw = np.ascontiguousarray(images[req_ids], dtype=np.float32)
+        # Each request ships (and dequantizes) its own tensor, exactly as
+        # the wire-byte accounting assumes; the dtype codecs decode a
+        # whole batch losslessly, so only the per-payload quantizers
+        # (whose scale/codebook is per tensor) pay a loop.
+        if self.codec.dtype in ("float32", "float16"):
+            payloads = self.codec.decode(raw)
+        else:
+            payloads = np.stack([self.codec.decode(t) for t in raw])
+
+        report, cloud_requests = self.cloud.serve_detailed(
+            payloads, cloud_arrival, scenario=f"{scenario}-offload"
+        )
+        # Responses ride the downlink in cloud-*completion* order (a
+        # cluster's replicas may finish out of arrival order); requests a
+        # shedding cloud tier never served end the trace unserved instead
+        # of poisoning the downlink queue with NaN.
+        finished = [
+            (cloud_requests[pos].completion_s, pos, req_id)
+            for pos, req_id in enumerate(req_ids)
+            if np.isfinite(cloud_requests[pos].completion_s)
+        ]
+        finished.sort()
+        downlink_free = 0.0
+        for cloud_done, pos, req_id in finished:
+            tx_start = max(cloud_done, downlink_free)
+            transfer = self.link.transfer(
+                down_bytes, time_s=tx_start, rng=self.rng, direction="down"
+            )
+            downlink_free = tx_start + transfer.occupancy_s
+            done = downlink_free + transfer.propagation_s
+            completion[req_id] = done
+            predictions[req_id] = cloud_requests[pos].prediction
+            cloud_part[req_id] = cloud_done - cloud_arrival[pos]
+            net_part[req_id] = (cloud_arrival[pos] - ready_s[pos]) + (done - cloud_done)
+        return report
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def _report(
+        self,
+        arrival_s,
+        completion,
+        outcome,
+        edge_part,
+        net_part,
+        cloud_part,
+        uplink_bytes_total,
+        edge_busy,
+        radio_busy,
+        accuracy,
+        cloud_report,
+        scenario,
+    ) -> OffloadReport:
+        sojourn = completion - arrival_s
+        # A shedding/failing cloud tier leaves offloaded requests
+        # unserved (NaN completion); latency statistics cover the served
+        # requests, with the unserved count reported alongside.
+        served = sojourn[np.isfinite(sojourn)]
+        n_unserved = int(len(sojourn) - len(served))
+        if served.size:
+            p50, p95, p99 = latency_percentiles(served)
+            mean_s, max_s = float(served.mean()), float(served.max())
+            makespan = float(np.nanmax(completion) - arrival_s[0])
+        else:
+            p50 = p95 = p99 = mean_s = max_s = float("nan")
+            makespan = float(arrival_s[-1] - arrival_s[0])
+        span = float(arrival_s[-1] - arrival_s[0])
+        n = len(arrival_s)
+        offloaded = outcome == _OFFLOADED
+        return OffloadReport(
+            policy=self.policy.name,
+            link=self.link.name,
+            codec=self.codec.dtype,
+            scenario=scenario,
+            n_requests=n,
+            n_local_easy=int((outcome == _LOCAL_EASY).sum()),
+            n_local_hard=int((outcome == _LOCAL_HARD).sum()),
+            n_offloaded=int(offloaded.sum()),
+            n_unserved=n_unserved,
+            uplink_bytes=int(uplink_bytes_total),
+            duration_s=makespan,
+            throughput_rps=len(served) / makespan if makespan > 0 else float("inf"),
+            arrival_rate_hz=(n - 1) / span if span > 0 else float("inf"),
+            mean_s=mean_s,
+            p50_s=p50,
+            p95_s=p95,
+            p99_s=p99,
+            max_s=max_s,
+            edge_mean_s=float(edge_part.mean()),
+            # nanmean: shed offloads carry NaN parts but must not erase
+            # the breakdown of the (typically many) served ones.
+            network_mean_s=(
+                float(np.nanmean(net_part[offloaded]))
+                if np.isfinite(net_part[offloaded]).any()
+                else float("nan")
+            ),
+            cloud_mean_s=(
+                float(np.nanmean(cloud_part[offloaded]))
+                if np.isfinite(cloud_part[offloaded]).any()
+                else float("nan")
+            ),
+            edge_utilization=edge_busy / makespan if makespan > 0 else 0.0,
+            edge_energy_j=energy_joules(self.edge_device, edge_busy),
+            radio_energy_j=self.link.tx_power_w * radio_busy,
+            accuracy=accuracy,
+            cloud_report=cloud_report,
+        )

@@ -232,10 +232,13 @@ class BranchyNetBackend(InferenceBackend):
                 images, threshold=self.router.threshold
             ).predictions
         # Reuse the router's branch-exit labels; only the hard sub-batch
-        # pays the full stem + trunk path.
+        # pays the full stem + trunk path.  An all-hard batch runs whole
+        # (no gather copy); an all-easy batch never touches the trunk.
         preds = decision.predictions.copy()
         hard = decision.hard_indices
-        if hard.size:
+        if hard.size == len(preds):
+            preds = self.branchynet.infer(images, threshold=-1.0).predictions
+        elif hard.size:
             preds[hard] = self.branchynet.infer(
                 images[hard], threshold=-1.0
             ).predictions
@@ -276,9 +279,12 @@ class HybridBackend(InferenceBackend):
         if decision is None or decision.predictions is None:
             decision = self.router.split(images)
         # Branch-exit predictions for the easy sub-batch; the hard one is
-        # converted (AE hard→easy) and re-classified.
+        # converted (AE hard→easy) and re-classified.  All-hard batches
+        # convert whole instead of gathering into a same-size copy.
         preds = decision.predictions.copy()
         hard = decision.hard_indices
-        if hard.size:
+        if hard.size == len(preds):
+            preds = self.cbnet.predict(images)
+        elif hard.size:
             preds[hard] = self.cbnet.predict(images[hard])
         return preds

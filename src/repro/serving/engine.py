@@ -185,6 +185,23 @@ class Server:
         predictions are real model outputs, so this is a genuine
         served-traffic accuracy, not a replayed number.
         """
+        report, _ = self.serve_detailed(images, arrival_s, labels, scenario)
+        return report
+
+    def serve_detailed(
+        self,
+        images: np.ndarray,
+        arrival_s: np.ndarray,
+        labels: np.ndarray | None = None,
+        scenario: str = "trace",
+    ) -> tuple[ServingReport, list[Request]]:
+        """:meth:`serve`, additionally returning the per-request records.
+
+        The request list carries completion time, route, prediction, and
+        batch size per request — what a composing tier (the edge side of
+        :mod:`repro.offload`) needs to continue each request's timeline
+        after the server answered.
+        """
         images = np.asarray(images)
         arrival_s = np.asarray(arrival_s, dtype=np.float64)
         if images.shape[0] != arrival_s.shape[0]:
@@ -265,9 +282,10 @@ class Server:
             dispatch(batcher.flush(), flush_at)
 
         self._fill_predictions(requests, batches, images)
-        return self._report(
+        report = self._report(
             requests, batches, arrival_s, labels, cache, busy_s, scenario
         )
+        return report, requests
 
     # ------------------------------------------------------------------ #
     # real inference over the worker pool

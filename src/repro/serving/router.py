@@ -70,7 +70,18 @@ class EntropyRouter:
             raise ValueError(f"entropy threshold must be >= 0, got {self.threshold}")
 
     def split(self, images: np.ndarray) -> RouteDecision:
-        """Route one image batch: easy where entropy < threshold."""
+        """Route one image batch: easy where entropy < threshold.
+
+        An empty batch short-circuits to an empty decision without
+        touching the model — no zero-sample plan is ever traced.
+        """
+        images = np.asarray(images)
+        if images.shape[0] == 0:
+            return RouteDecision(
+                easy=np.zeros(0, dtype=bool),
+                entropy=np.zeros(0, dtype=np.float32),
+                predictions=np.zeros(0, dtype=np.int64),
+            )
         entropy, preds = self.branchynet.branch_gate(images)
         return RouteDecision(
             easy=entropy < self.threshold, entropy=entropy, predictions=preds

@@ -1,0 +1,158 @@
+"""NetworkLink: validation, determinism, degradation, planning estimates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hw.network import (
+    BandwidthTrace,
+    NetworkLink,
+    ethernet,
+    lte,
+    network_links,
+    wifi,
+)
+
+
+def _link(**overrides) -> NetworkLink:
+    base = dict(
+        name="test",
+        uplink_mbps=8.0,  # 1 byte/us: easy mental arithmetic
+        downlink_mbps=16.0,
+        rtt_s=0.010,
+        jitter_s=0.0,
+        loss_rate=0.0,
+        tx_power_w=1.0,
+    )
+    base.update(overrides)
+    return NetworkLink(**base)
+
+
+class TestValidation:
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError, match="bandwidth must be positive"):
+            _link(uplink_mbps=0.0)
+        with pytest.raises(ValueError, match="bandwidth must be positive"):
+            _link(downlink_mbps=-1.0)
+
+    def test_loss_rate_bounds(self):
+        with pytest.raises(ValueError, match="loss_rate"):
+            _link(loss_rate=1.0)
+        with pytest.raises(ValueError, match="loss_rate"):
+            _link(loss_rate=-0.1)
+
+    def test_negative_rtt_rejected(self):
+        with pytest.raises(ValueError):
+            _link(rtt_s=-0.001)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError, match="n_bytes"):
+            _link().serialization_s(-1)
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError, match="direction"):
+            _link().serialization_s(100, direction="sideways")
+
+    def test_trace_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            BandwidthTrace(times_s=(0.0,), scales=(0.0,))
+        with pytest.raises(ValueError, match="non-decreasing"):
+            BandwidthTrace(times_s=(1.0, 0.5), scales=(1.0, 1.0))
+        with pytest.raises(ValueError, match="at least one"):
+            BandwidthTrace(times_s=(), scales=())
+        with pytest.raises(ValueError, match="step times"):
+            BandwidthTrace(times_s=(0.0, 1.0), scales=(1.0,))
+
+
+class TestSerialization:
+    def test_exact_bytes_over_bandwidth(self):
+        # 8 Mbps = 1e6 bytes/s up: 1000 bytes take exactly 1 ms.
+        assert _link().serialization_s(1000) == pytest.approx(1e-3)
+        # Downlink is twice as fast.
+        assert _link().serialization_s(1000, direction="down") == pytest.approx(0.5e-3)
+
+    def test_lossless_transfer_is_deterministic_without_rng(self):
+        t = _link().transfer(1000)
+        assert t.attempts == 1
+        assert t.occupancy_s == pytest.approx(1e-3)
+        assert t.propagation_s == pytest.approx(0.005)  # rtt/2
+        assert t.total_s == pytest.approx(0.006)
+
+    def test_zero_byte_payload(self):
+        t = _link().transfer(0)
+        assert t.occupancy_s == 0.0
+        assert t.total_s == pytest.approx(0.005)
+
+
+class TestLossAndDeterminism:
+    def test_same_seed_same_transfers(self):
+        link = _link(loss_rate=0.3, jitter_s=2e-3)
+        runs = []
+        for _ in range(2):
+            rng = np.random.default_rng(7)
+            runs.append([link.transfer(500, rng=rng) for _ in range(64)])
+        assert runs[0] == runs[1]
+
+    def test_retries_extend_occupancy(self):
+        link = _link(loss_rate=0.9)
+        rng = np.random.default_rng(0)
+        transfers = [link.transfer(1000, rng=rng) for _ in range(32)]
+        retried = [t for t in transfers if t.attempts > 1]
+        assert retried, "loss_rate=0.9 should produce retries"
+        for t in retried:
+            assert t.occupancy_s == pytest.approx(
+                t.attempts * 1e-3 + (t.attempts - 1) * link.rtt_s
+            )
+
+    def test_expected_one_way_matches_lossless_transfer(self):
+        link = _link()
+        expected = link.expected_one_way_s(1000)
+        assert expected == pytest.approx(link.transfer(1000).total_s)
+
+    def test_expected_one_way_grows_with_loss(self):
+        lossy = _link(loss_rate=0.5)
+        assert lossy.expected_one_way_s(1000) > _link().expected_one_way_s(1000)
+
+    def test_round_trip_sums_directions(self):
+        link = _link()
+        assert link.expected_round_trip_s(1000, 500) == pytest.approx(
+            link.expected_one_way_s(1000, direction="up")
+            + link.expected_one_way_s(500, direction="down")
+        )
+
+
+class TestDegradation:
+    def test_trace_scales_serialization(self):
+        trace = BandwidthTrace(times_s=(1.0, 2.0), scales=(0.5, 2.0))
+        link = _link(degradation=trace)
+        base = _link().serialization_s(1000)
+        assert link.serialization_s(1000, time_s=0.0) == pytest.approx(base)
+        assert link.serialization_s(1000, time_s=1.5) == pytest.approx(2 * base)
+        assert link.serialization_s(1000, time_s=2.0) == pytest.approx(base / 2)
+
+    def test_scale_at_boundaries(self):
+        trace = BandwidthTrace(times_s=(1.0,), scales=(0.25,))
+        assert trace.scale_at(0.999) == 1.0
+        assert trace.scale_at(1.0) == 0.25
+        assert trace.scale_at(100.0) == 0.25
+
+
+class TestPresets:
+    def test_presets_registry(self):
+        links = network_links()
+        assert set(links) == {"ethernet", "wifi", "lte"}
+        assert links["lte"].name == "lte"
+
+    def test_preset_ordering_is_physical(self):
+        # Wired beats wifi beats cellular on both bandwidth and RTT.
+        e, w, c = ethernet(), wifi(), lte()
+        assert e.uplink_mbps > w.uplink_mbps > c.uplink_mbps
+        assert e.rtt_s < w.rtt_s < c.rtt_s
+        # And cellular radios burn the most transmit power.
+        assert c.tx_power_w > w.tx_power_w > e.tx_power_w
+
+    def test_registry_rebuilt_per_call(self):
+        links = network_links()
+        links.pop("lte")
+        assert "lte" in network_links()

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.parallel",
     "repro.serving",
     "repro.cluster",
+    "repro.offload",
     "repro.eval",
     "repro.experiments",
     "repro.utils",

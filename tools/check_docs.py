@@ -36,6 +36,7 @@ REQUIRED_DOCS = (
     "docs/architecture.md",
     "docs/performance.md",
     "docs/cluster.md",
+    "docs/offload.md",
 )
 
 
