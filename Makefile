@@ -5,6 +5,8 @@
 #                     toy fleets (no training, seconds)
 #   make offload-smoke  offload-layer smoke: network links, partition
 #                     planner, policies, EdgeTier on toy models
+#   make sim-smoke    simulation-core smoke: oracle live-vs-table parity,
+#                     SoA records, vectorized arrival regressions
 #   make bench-smoke  fast benchmark subset, incl. the serving engine
 #   make bench        full benchmark suite (regenerates benchmarks/results/)
 #   make bench-record record BENCH_<n>.json medians (substrate + serving)
@@ -17,7 +19,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test fleet-smoke offload-smoke bench-smoke bench bench-record bench-check docs-check docs-run lint
+.PHONY: test fleet-smoke offload-smoke sim-smoke bench-smoke bench bench-record bench-check docs-check docs-run lint
 
 test:
 	$(PYTHON) -m pytest tests -x -q
@@ -29,6 +31,9 @@ fleet-smoke:
 offload-smoke:
 	$(PYTHON) -m pytest tests/offload tests/hw/test_network.py \
 	    tests/serving/test_router_edge_cases.py -q
+
+sim-smoke:
+	$(PYTHON) -m pytest tests/sim tests/serving/test_arrivals.py -q
 
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/test_table1_architecture.py \

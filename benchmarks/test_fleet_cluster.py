@@ -5,7 +5,9 @@ balancing policies over a heterogeneous CBNet fleet (Pi 4 / GCI-CPU /
 GCI-K80) under steady, diurnal, and flash-crowd load; the reactive
 autoscaler against a fixed peak-sized fleet on the same diurnal trace;
 and a mid-trace crash of the fastest replica behind degrade-mode
-admission control.
+admission control.  Predictions come from the precomputed inference
+oracle (`repro.sim`) — one CBNet/BranchyNet pass per dataset shared by
+all fifteen runs — at metrics identical to live in-loop inference.
 """
 
 from repro.experiments.fleet import FLEET_SCENARIOS, run_fleet_comparison

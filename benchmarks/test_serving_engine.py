@@ -1,10 +1,13 @@
 """Extension bench — the batched serving engine under three load shapes.
 
-Runs `repro.serving.Server` end to end: real CBNet / BranchyNet / LeNet /
-hybrid inference behind the micro-batcher, worker dispatcher, LRU result
-cache, and entropy router, on the calibrated Pi-4 timing model.  Steady,
-bursty, and overload arrival scenarios share identical request streams
-per scenario, so the sojourn percentiles are directly comparable.
+Runs `repro.serving.Server` end to end: CBNet / BranchyNet / LeNet /
+hybrid predictions behind the micro-batcher, worker dispatcher, LRU
+result cache, and entropy router, on the calibrated Pi-4 timing model.
+Inference runs through the precomputed oracle (`repro.sim`): one model
+pass per dataset feeds every scenario at metrics identical to live
+in-loop inference (`tests/sim` pins the parity).  Steady, bursty, and
+overload arrival scenarios share identical request streams per
+scenario, so the sojourn percentiles are directly comparable.
 """
 
 from repro.experiments.serve import SCENARIOS, run_serving_comparison

@@ -18,10 +18,16 @@ replica:
    a crash cancels the replica's queued and in-flight work and
    re-dispatches it through the balancer (counted as retries).
 
-Once the timeline is fixed, every surviving batch runs real model
-inference, so the :class:`ClusterReport` carries genuine served
-accuracy next to the latency, shedding, availability, and
-replica-seconds columns.
+Once the timeline is fixed, every surviving batch runs through its
+replica's backend — real model inference, or precomputed-table lookups
+when the fleet is built from :class:`repro.sim.OracleBackend` wrappers —
+so the :class:`ClusterReport` carries genuine served accuracy next to
+the latency, shedding, availability, and replica-seconds columns.
+
+Per-request bookkeeping is the structure-of-arrays
+:class:`~repro.sim.records.RequestLog`; arrivals are consumed from a
+sorted cursor merged against the event heap, so a million-request trace
+costs a million cheap loop iterations, not a million heap pushes.
 """
 
 from __future__ import annotations
@@ -40,16 +46,27 @@ from repro.cluster.replica import InFlightBatch, Replica, ReplicaState
 from repro.eval.metrics import latency_percentiles
 from repro.eval.tables import Table
 from repro.serving.backends import InferenceBackend
-from repro.serving.cache import LRUResultCache, image_key
-from repro.serving.request import Request, Route
+from repro.serving.cache import LRUResultCache
+from repro.serving.request import Request
 from repro.serving.router import RouteDecision
+from repro.sim.core import request_keys, validate_trace
+from repro.sim.records import (
+    ROUTE_BATCHED,
+    ROUTE_CACHED,
+    ROUTE_EASY,
+    ROUTE_HARD,
+    ROUTE_SHED,
+    RequestLog,
+)
 from repro.utils.rng import as_generator
 
 __all__ = ["Cluster", "ClusterReport", "fleet_comparison_table"]
 
 # Event kinds, in tie-breaking order at equal timestamps: a replica that
 # finishes warming at t may serve the arrival at t; crashes hit before
-# the work that would have ridden the doomed replica.
+# the work that would have ridden the doomed replica.  Arrivals are not
+# heap events (they stream from a sorted cursor) but keep the largest
+# kind so heap events at an equal timestamp win the tie, as before.
 _EV_UP, _EV_CRASH, _EV_RECOVER, _EV_TICK, _EV_ARRIVAL = range(5)
 
 
@@ -147,14 +164,18 @@ def fleet_comparison_table(reports: list[ClusterReport], title: str = "") -> Tab
 class _Books:
     """Mutable per-serve state (kept off the Cluster so serve() is reentrant)."""
 
-    requests: list[Request]
+    log: RequestLog
     images: np.ndarray
-    keys: list[str] | None
+    keys: list | None
     cache: LRUResultCache
     finished: list[tuple[Replica, InFlightBatch]] = field(default_factory=list)
+    # (completion, req) pairs feeding the autoscaler's p95 window; only
+    # recorded when an autoscaler is attached (a million-request trace
+    # should not pay for a signal nobody reads).
     completions: list[tuple[float, int]] = field(default_factory=list)
+    track_completions: bool = False
     stranded: list[int] = field(default_factory=list)
-    visibility: list[tuple[float, str, int]] = field(default_factory=list)
+    visibility: list[tuple[float, int, object]] = field(default_factory=list)
 
 
 class Cluster:
@@ -165,7 +186,9 @@ class Cluster:
     backends:
         One :class:`~repro.serving.backends.InferenceBackend` per initial
         replica (heterogeneous fleets pass backends built from different
-        :class:`~repro.hw.device.DeviceProfile` calibrations).
+        :class:`~repro.hw.device.DeviceProfile` calibrations).  Mixing
+        oracle-wrapped and live backends in one fleet is rejected — the
+        request stream is either sample ids or pixels, not both.
     policy:
         A :class:`~repro.cluster.policies.LoadBalancer` instance or a
         policy name (see :data:`~repro.cluster.policies.POLICY_NAMES`).
@@ -211,6 +234,11 @@ class Cluster:
             raise ValueError(f"slo_s must be positive, got {slo_s}")
         if recover_warmup_s < 0:
             raise ValueError(f"recover_warmup_s must be >= 0, got {recover_warmup_s}")
+        if len({bool(b.oracle) for b in backends}) > 1:
+            raise ValueError(
+                "cannot mix oracle and live backends in one fleet: the request "
+                "stream is either sample ids or raw images"
+            )
         for event in failures:
             if event.replica_id >= len(backends):
                 raise ValueError(
@@ -258,17 +286,23 @@ class Cluster:
     def recent_p95(self, now: float, window_s: float) -> float | None:
         """p95 sojourn of completions in ``(now - window_s, now]``.
 
-        ``None`` when the window is empty.  Completions cancelled by a
+        This is the autoscaler's latency signal: the per-completion
+        window is only recorded while an autoscaler is attached (a
+        million-request trace should not pay for a signal nobody
+        reads), so without one this returns ``None`` — as it does when
+        the window is genuinely empty.  Completions cancelled by a
         later crash are skipped (the request's final record no longer
         matches the one logged at dispatch).
         """
         books = self._books
         if books is None:
             return None
+        arrival = books.log.arrival_s
+        final = books.log.completion_s
         sojourn = [
-            t - books.requests[idx].arrival_s
+            t - arrival[idx]
             for t, idx in books.completions
-            if now - window_s < t <= now and books.requests[idx].completion_s == t
+            if now - window_s < t <= now and final[idx] == t
         ]
         if not sojourn:
             return None
@@ -282,6 +316,12 @@ class Cluster:
         self, backend: InferenceBackend, now: float, warmup_s: float
     ) -> Replica:
         """Provision a fresh replica; it takes traffic after ``warmup_s``."""
+        if bool(backend.oracle) != bool(self.replicas[0].backend.oracle):
+            raise ValueError(
+                "cannot mix oracle and live backends in one fleet: the "
+                "autoscaler's spawn_backend must match the initial replicas "
+                "(wrap it with repro.sim.oracle_backend in oracle mode)"
+            )
         replica = Replica(
             len(self.replicas),
             backend,
@@ -317,7 +357,7 @@ class Cluster:
         columns — shed rate, SLO attainment, replica-seconds,
         availability, retries.
         """
-        report, _ = self.serve_detailed(images, arrival_s, labels, scenario)
+        report, _ = self.serve_log(images, arrival_s, labels, scenario)
         return report
 
     def serve_detailed(
@@ -327,56 +367,57 @@ class Cluster:
         labels: np.ndarray | None = None,
         scenario: str = "trace",
     ) -> tuple[ClusterReport, list[Request]]:
-        """:meth:`serve`, additionally returning the per-request records.
+        """:meth:`serve`, additionally returning per-request records.
 
         Same contract as :meth:`repro.serving.Server.serve_detailed`:
         the request list lets a fronting tier (the edge side of
         :mod:`repro.offload`) continue each request's timeline after the
-        fleet answered it.
+        fleet answered it.  Prefer :meth:`serve_log` when the array view
+        suffices.
         """
+        report, log = self.serve_log(images, arrival_s, labels, scenario)
+        return report, log.to_requests()
+
+    def serve_log(
+        self,
+        images: np.ndarray,
+        arrival_s: np.ndarray,
+        labels: np.ndarray | None = None,
+        scenario: str = "trace",
+    ) -> tuple[ClusterReport, RequestLog]:
+        """:meth:`serve`, additionally returning the SoA request log."""
         if self._served:
             raise RuntimeError(
                 "a Cluster replays one trace (replica billing is per-run); "
                 "build a fresh Cluster for the next trace"
             )
         self._served = True
-        images = np.asarray(images)
-        arrival_s = np.asarray(arrival_s, dtype=np.float64)
-        if images.shape[0] != arrival_s.shape[0]:
-            raise ValueError(
-                f"{images.shape[0]} images vs {arrival_s.shape[0]} arrival times"
-            )
-        if arrival_s.size == 0:
-            raise ValueError("cannot serve an empty request stream")
-        if np.any(np.diff(arrival_s) < 0):
-            raise ValueError("arrival times must be non-decreasing")
+        images, arrival_s = validate_trace(images, arrival_s)
+        oracle = self.replicas[0].backend.oracle
 
         for replica in self.replicas:
-            replica.backend.warmup(
-                min(self.max_batch_size, images.shape[0]),
-                sample_shape=images.shape[1:],
-            )
+            if not oracle:
+                replica.backend.warmup(
+                    min(self.max_batch_size, images.shape[0]),
+                    sample_shape=images.shape[1:],
+                )
             # The initial fleet starts its meter at trace start, so
             # replica-seconds are comparable across traces whatever
             # timestamp the trace happens to begin at.
             if replica.up_since_s == 0.0 and replica.up_seconds == 0.0:
                 replica.up_since_s = float(arrival_s[0])
 
-        n = images.shape[0]
-        keys = (
-            [image_key(images[i]) for i in range(n)] if self.cache_capacity > 0 else None
-        )
+        keys = request_keys(images, oracle) if self.cache_capacity > 0 else None
         books = _Books(
-            requests=[Request(i, float(t)) for i, t in enumerate(arrival_s)],
+            log=RequestLog(arrival_s),
             images=images,
             keys=keys,
             cache=LRUResultCache(self.cache_capacity),
+            track_completions=self.autoscaler is not None,
         )
         self._books = books
         self._heap = []
         self._seq = 0
-        for i, t in enumerate(arrival_s):
-            self._push(float(t), _EV_ARRIVAL, i)
         for event in self.failures:
             kind = _EV_CRASH if event.kind == CRASH else _EV_RECOVER
             self._push(event.time_s, kind, event.replica_id)
@@ -385,25 +426,37 @@ class Cluster:
                 float(arrival_s[0]) + self.autoscaler.config.interval_s, _EV_TICK, None
             )
 
-        while self._heap:
-            self._flush_deadlines_until(self._heap[0][0])
-            now, kind, _, payload = heapq.heappop(self._heap)
-            self._advance(now)
-            if kind == _EV_ARRIVAL:
-                self._handle_arrival(payload, now)
-            elif kind == _EV_UP:
-                self._handle_up(payload, now)
-            elif kind == _EV_CRASH:
-                self._handle_crash(payload, now)
-            elif kind == _EV_RECOVER:
-                self._handle_recover(payload, now)
-            elif kind == _EV_TICK:
-                self._handle_tick(now)
+        # Arrivals stream from the sorted trace via a cursor merged
+        # against the event heap: heap events win ties (every heap kind
+        # sorts before _EV_ARRIVAL, matching the old all-in-heap order).
+        arrivals = arrival_s.tolist()
+        n = len(arrivals)
+        heap = self._heap
+        cursor = 0
+        while cursor < n or heap:
+            next_arrival = arrivals[cursor] if cursor < n else math.inf
+            if heap and heap[0][0] <= next_arrival:
+                self._flush_deadlines_until(heap[0][0])
+                now, kind, _, payload = heapq.heappop(heap)
+                self._advance(now)
+                if kind == _EV_UP:
+                    self._handle_up(payload, now)
+                elif kind == _EV_CRASH:
+                    self._handle_crash(payload, now)
+                elif kind == _EV_RECOVER:
+                    self._handle_recover(payload, now)
+                elif kind == _EV_TICK:
+                    self._handle_tick(now, arrivals_left=n - cursor)
+            else:
+                self._flush_deadlines_until(next_arrival)
+                self._advance(next_arrival)
+                self._handle_arrival(cursor, next_arrival)
+                cursor += 1
         self._flush_deadlines_until(math.inf)
         self._advance(math.inf)
 
         self._fill_predictions(books)
-        return self._report(books, arrival_s, labels, scenario), books.requests
+        return self._report(books, arrival_s, labels, scenario), books.log
 
     # ------------------------------------------------------------------ #
     # event plumbing
@@ -415,45 +468,57 @@ class Cluster:
     def _advance(self, now: float) -> None:
         """Purge completed batches on every replica up to ``now``."""
         books = self._books
+        finished = books.finished
         for replica in self.replicas:
-            for batch in replica.purge(now):
-                books.finished.append((replica, batch))
+            done = replica.purge(now)
+            if done:
+                for batch in done:
+                    finished.append((replica, batch))
 
     def _flush_deadlines_until(self, limit_s: float) -> None:
         """Service every batcher deadline that fires before ``limit_s``."""
         while True:
-            replica = min(self.replicas, key=lambda r: (r.next_deadline_s(), r.replica_id))
-            deadline = replica.next_deadline_s()
-            if deadline > limit_s or math.isinf(deadline):
+            best = None
+            best_deadline = math.inf
+            for replica in self.replicas:
+                deadline = replica.next_deadline_s()
+                if deadline < best_deadline:
+                    best = replica
+                    best_deadline = deadline
+            if best is None or best_deadline > limit_s:
                 return
-            self._advance(deadline)
-            self._dispatch(replica, replica.batcher.flush(), deadline)
+            self._advance(best_deadline)
+            self._dispatch(best, best.batcher.flush(), best_deadline)
 
     # ------------------------------------------------------------------ #
     # event handlers
     # ------------------------------------------------------------------ #
     def _handle_arrival(self, i: int, now: float) -> None:
         books = self._books
-        req = books.requests[i]
+        log = books.log
         if books.keys is not None:
-            while books.visibility and books.visibility[0][0] <= now:
-                t, key, src = heapq.heappop(books.visibility)
-                if books.requests[src].completion_s == t:  # not crash-cancelled
+            visibility = books.visibility
+            completion = log.completion_s
+            while visibility and visibility[0][0] <= now:
+                t, src, key = heapq.heappop(visibility)
+                if completion[src] == t:  # not crash-cancelled
                     books.cache.put(key, src)
             hit = books.cache.get(books.keys[i])
             if hit is not None:
-                req.route = Route.CACHED
-                req.source_id = int(hit)
-                req.completion_s = now + self.cache_lookup_s
-                books.completions.append((req.completion_s, i))
+                log.route[i] = ROUTE_CACHED
+                log.source_id[i] = int(hit)
+                done = now + self.cache_lookup_s
+                completion[i] = done
+                if books.track_completions:
+                    books.completions.append((done, i))
                 return
         if self.admission is not None:
             verdict = self.admission.decide(self.outstanding_total(now))
             if verdict == REJECT:
-                req.route = Route.SHED
+                log.route[i] = ROUTE_SHED
                 return
             if verdict == DEGRADE:
-                req.degraded = True
+                log.degraded[i] = True
             else:
                 assert verdict == ACCEPT
         self._route(i, now)
@@ -474,14 +539,13 @@ class Cluster:
         replica = self.replicas[replica_id]
         if replica.state == ReplicaState.DOWN:
             return
-        books = self._books
+        log = self._books.log
         for idx in replica.crash(now):
-            req = books.requests[idx]
-            req.completion_s = float("nan")
-            req.route = Route.BATCHED
-            req.batch_size = 0
-            req.replica_id = -1
-            req.retries += 1
+            log.completion_s[idx] = float("nan")
+            log.route[idx] = ROUTE_BATCHED
+            log.batch_size[idx] = 0
+            log.replica_id[idx] = -1
+            log.retries[idx] += 1
             self._route(idx, now)
 
     def _handle_recover(self, replica_id: int, now: float) -> None:
@@ -491,21 +555,24 @@ class Cluster:
         replica.provision(now)
         self._push(now + self.recover_warmup_s, _EV_UP, (replica_id, replica.generation))
 
-    def _handle_tick(self, now: float) -> None:
+    def _handle_tick(self, now: float, arrivals_left: int = 0) -> None:
         books = self._books
         self.autoscaler.tick(self, now)
-        settled = not books.stranded and all(
-            req.done or req.route == Route.SHED for req in books.requests
+        settled = (
+            not arrivals_left
+            and not books.stranded
+            and bool((books.log.done | (books.log.route == ROUTE_SHED)).all())
         )
         if settled:
             return
         # Reschedule only while progress is still possible: some other
-        # event is pending, or a live replica can finish/receive work.
-        # Otherwise (e.g. every replica crashed with no recovery
-        # scheduled) the loop must drain so stranded requests end the
-        # trace as unserved instead of ticking forever.
+        # event is pending, arrivals are still streaming from the trace
+        # cursor, or a live replica can finish/receive work.  Otherwise
+        # (e.g. every replica crashed with no recovery scheduled) the
+        # loop must drain so stranded requests end the trace as unserved
+        # instead of ticking forever.
         others_pending = any(kind != _EV_TICK for _, kind, _, _ in self._heap)
-        if others_pending or self.live_replicas():
+        if others_pending or arrivals_left or self.live_replicas():
             self._push(now + self.autoscaler.config.interval_s, _EV_TICK, None)
 
     # ------------------------------------------------------------------ #
@@ -523,11 +590,13 @@ class Cluster:
 
     def _dispatch(self, replica: Replica, indices: list[int], flush_s: float) -> None:
         books = self._books
-        decision = replica.backend.route(books.images[indices])
-        if decision is not None:
-            forced = [
-                pos for pos, idx in enumerate(indices) if books.requests[idx].degraded
-            ]
+        log = books.log
+        # One list→array conversion reused by every fancy-index op.
+        idx = np.asarray(indices, dtype=np.intp)
+        decision = replica.backend.route(books.images[idx])
+        if decision is not None and self.admission is not None:
+            degraded = log.degraded
+            forced = [pos for pos, i in enumerate(indices) if degraded[i]]
             if forced:
                 easy = decision.easy.copy()
                 easy[forced] = True
@@ -545,37 +614,39 @@ class Cluster:
             completion_s=completion,
         )
         replica.commit(batch)
-        for pos, idx in enumerate(indices):
-            req = books.requests[idx]
-            req.completion_s = completion
-            req.batch_size = len(indices)
-            req.replica_id = replica.replica_id
-            if decision is None:
-                req.route = Route.BATCHED
-            else:
-                req.route = Route.EASY if decision.easy[pos] else Route.HARD
-            books.completions.append((completion, idx))
-            if books.keys is not None:
-                heapq.heappush(books.visibility, (completion, books.keys[idx], idx))
+        log.completion_s[idx] = completion
+        log.batch_size[idx] = len(indices)
+        log.replica_id[idx] = replica.replica_id
+        if decision is not None:
+            log.route[idx] = np.where(decision.easy, ROUTE_EASY, ROUTE_HARD)
+        else:
+            log.route[idx] = ROUTE_BATCHED
+        if books.track_completions:
+            for i in indices:
+                books.completions.append((completion, i))
+        if books.keys is not None:
+            # Ties break on the request index so insertion order is
+            # identical whatever the key type (pixel hash or sample id).
+            keys = books.keys
+            for i in indices:
+                heapq.heappush(books.visibility, (completion, i, keys[i]))
 
     # ------------------------------------------------------------------ #
-    # real inference + reporting
+    # predictions + reporting
     # ------------------------------------------------------------------ #
     def _fill_predictions(self, books: _Books) -> None:
-        """Run each surviving batch through its replica's real model.
+        """Run each surviving batch through its replica's backend.
 
         Crash-cancelled batches never reach ``books.finished``, so every
         request is predicted at most once — by the batch that actually
         completed for it on the virtual timeline.
         """
+        prediction = books.log.prediction
+        images = books.images
         for replica, batch in books.finished:
-            indices = list(batch.indices)
-            preds = replica.backend.predict(books.images[indices], batch.decision)
-            for pos, idx in enumerate(indices):
-                books.requests[idx].prediction = int(preds[pos])
-        for req in books.requests:
-            if req.route == Route.CACHED:
-                req.prediction = books.requests[req.source_id].prediction
+            idx = np.asarray(batch.indices, dtype=np.intp)
+            prediction[idx] = replica.backend.predict(images[idx], batch.decision)
+        books.log.fill_cached_predictions()
 
     def _report(
         self,
@@ -584,13 +655,15 @@ class Cluster:
         labels: np.ndarray | None,
         scenario: str,
     ) -> ClusterReport:
-        requests = books.requests
-        served = [r for r in requests if r.done]
-        n_shed = sum(r.route == Route.SHED for r in requests)
-        n_unserved = len(requests) - len(served) - n_shed
-        sojourn = np.array([r.sojourn_s for r in served])
-        if served:
-            last = max(r.completion_s for r in served)
+        log = books.log
+        served = log.done
+        n_requests = len(log)
+        n_served = int(served.sum())
+        n_shed = log.route_count(ROUTE_SHED)
+        n_unserved = n_requests - n_served - n_shed
+        sojourn = log.sojourn_s[served]
+        if n_served:
+            last = float(log.completion_s[served].max())
             makespan = last - float(arrival_s[0])
             p50, p95, p99 = latency_percentiles(sojourn)
             mean_s, max_s = float(sojourn.mean()), float(sojourn.max())
@@ -607,26 +680,25 @@ class Cluster:
         batch_sizes = [len(b.indices) for _, b in books.finished]
         span = float(arrival_s[-1] - arrival_s[0])
         accuracy = float("nan")
-        if labels is not None and served:
+        if labels is not None and n_served:
             labels = np.asarray(labels)
-            hits = [int(r.prediction == labels[r.req_id]) for r in served]
-            accuracy = float(np.mean(hits))
+            accuracy = float((log.prediction[served] == labels[served]).mean())
         return ClusterReport(
             policy=self.policy.name,
             scenario=scenario,
-            n_requests=len(requests),
-            n_served=len(served),
+            n_requests=n_requests,
+            n_served=n_served,
             n_shed=n_shed,
             n_unserved=n_unserved,
-            n_degraded=sum(r.degraded for r in requests),
-            n_retried=sum(r.retries > 0 for r in requests),
-            n_cached=sum(r.route == Route.CACHED for r in requests),
+            n_degraded=int(log.degraded.sum()),
+            n_retried=int((log.retries > 0).sum()),
+            n_cached=log.route_count(ROUTE_CACHED),
             n_replicas_start=self.n_replicas_start,
             peak_replicas=self.peak_replicas,
             n_replicas_end=len(self.up_replicas()),
             duration_s=makespan,
-            throughput_rps=len(served) / makespan if makespan > 0 else float("inf"),
-            arrival_rate_hz=(len(requests) - 1) / span if span > 0 else float("inf"),
+            throughput_rps=n_served / makespan if makespan > 0 else float("inf"),
+            arrival_rate_hz=(n_requests - 1) / span if span > 0 else float("inf"),
             mean_s=mean_s,
             p50_s=p50,
             p95_s=p95,
@@ -634,7 +706,7 @@ class Cluster:
             max_s=max_s,
             mean_batch_size=float(np.mean(batch_sizes)) if batch_sizes else 0.0,
             slo_s=self.slo_s,
-            slo_attainment=attained / len(requests) if requests else 0.0,
+            slo_attainment=attained / n_requests if n_requests else 0.0,
             replica_seconds=float(replica_seconds),
             utilization=busy / replica_seconds if replica_seconds > 0 else 0.0,
             cache_hit_rate=books.cache.hit_rate,

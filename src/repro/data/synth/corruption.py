@@ -47,15 +47,18 @@ def occlude(images: Array, rng: np.random.Generator, severity: float) -> Array:
     n, h, w = images.shape
     out = images.copy()
     n_rects = 1 + int(severity > 0.5)
+    rows = np.arange(h)
+    cols = np.arange(w)
     for _ in range(n_rects):
         rh = rng.integers(max(2, int(0.10 * h)), max(3, int((0.14 + 0.18 * severity) * h)), n)
         rw = rng.integers(max(2, int(0.10 * w)), max(3, int((0.14 + 0.18 * severity) * w)), n)
         r0 = rng.integers(0, h - rh + 1)
         c0 = rng.integers(0, w - rw + 1)
-        # Per-sample rectangles differ in size/place; a short Python loop over
-        # the batch is unavoidable but touches only index arithmetic.
-        for i in range(n):
-            out[i, r0[i] : r0[i] + rh[i], c0[i] : c0[i] + rw[i]] = 0.0
+        # Per-sample rectangles differ in size/place; broadcast row and
+        # column interval masks and blank every rectangle in one write.
+        row_mask = (rows[None, :] >= r0[:, None]) & (rows[None, :] < (r0 + rh)[:, None])
+        col_mask = (cols[None, :] >= c0[:, None]) & (cols[None, :] < (c0 + rw)[:, None])
+        out[row_mask[:, :, None] & col_mask[:, None, :]] = 0.0
     return out
 
 

@@ -11,6 +11,7 @@ train the autoencoder comes from BranchyNet, see
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -30,6 +31,7 @@ __all__ = [
     "generate_split",
     "generate_split_parallel",
     "load_dataset",
+    "clear_dataset_memo",
 ]
 
 Renderer = Callable[[np.ndarray, np.random.Generator], np.ndarray]
@@ -202,6 +204,11 @@ def load_dataset(
     Returns ``{"train": ArrayDataset, "test": ArrayDataset}``.  Train and
     test derive from disjoint sub-seeds of ``seed``.  Generation of large
     splits fans out over a process pool (deterministic per seed).
+
+    Cached loads are additionally memoized in-process, so repeat calls
+    within one experiment run return the *same* dataset objects: treat
+    them as read-only (copy before mutating), and see
+    :func:`clear_dataset_memo` for releasing them.
     """
     if name not in DATASET_SPECS:
         raise KeyError(f"unknown dataset {name!r}; available: {sorted(DATASET_SPECS)}")
@@ -239,4 +246,28 @@ def load_dataset(
         },
         "version": 5,  # bump to invalidate caches when renderer *code* changes
     }
-    return ArtifactCache().get_or_compute(key, build)
+    memo_key = json.dumps(key, sort_keys=True)
+    datasets = _MEMO.get(memo_key)
+    if datasets is None:
+        datasets = ArtifactCache().get_or_compute(key, build)
+        _MEMO[memo_key] = datasets
+    return datasets
+
+
+# In-process memo over the disk cache: an experiment run asks for the
+# same (dataset, sizes, seed) many times — once per study — and should
+# pay the deserialization once.  Returned datasets are shared objects;
+# callers treat them as read-only (everything downstream indexes, never
+# mutates).
+_MEMO: dict[str, dict[str, ArrayDataset]] = {}
+
+
+def clear_dataset_memo() -> None:
+    """Drop the in-process dataset memo (tests / memory pressure).
+
+    Long-lived processes touching many (dataset, size, seed) variants
+    accumulate them here for the process lifetime; this releases them
+    (the disk cache is untouched, so the next ``load_dataset`` is still
+    a deserialize, not a regeneration).
+    """
+    _MEMO.clear()

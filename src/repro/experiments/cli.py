@@ -77,6 +77,20 @@ def main(argv: list[str] | None = None) -> int:
         default="lte",
         help="network preset for the offload policy study (offload only)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="processes for the fleet/offload experiment grids "
+        "(default 1: serial, deterministic CI ordering; results are "
+        "identical at any value)",
+    )
+    parser.add_argument(
+        "--live",
+        action="store_true",
+        help="run real model inference inside the serving event loops "
+        "instead of the precomputed oracle (slower; identical metrics)",
+    )
     args = parser.parse_args(argv)
 
     # A --scenario belonging to the *other* serving experiment is a user
@@ -119,6 +133,7 @@ def main(argv: list[str] | None = None) -> int:
                 dataset=args.dataset or "mnist",
                 scenarios=scenarios,
                 n_workers=args.workers,
+                live=args.live,
             ).render()
         )
     if args.experiment in ("fleet", "all"):
@@ -133,6 +148,8 @@ def main(argv: list[str] | None = None) -> int:
                 seed=args.seed,
                 dataset=args.dataset or "mnist",
                 scenarios=scenarios,
+                live=args.live,
+                jobs=args.jobs,
             ).render()
         )
     if args.experiment in ("offload", "all"):
@@ -142,6 +159,8 @@ def main(argv: list[str] | None = None) -> int:
                 seed=args.seed,
                 dataset=args.dataset or "mnist",
                 link_name=args.link,
+                live=args.live,
+                jobs=args.jobs,
             ).render()
         )
     if args.experiment in ("ablations", "all"):

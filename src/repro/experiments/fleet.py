@@ -23,7 +23,7 @@ trained pipeline:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable
 
 import numpy as np
@@ -35,6 +35,7 @@ from repro.cluster.failures import crash_window
 from repro.cluster.policies import POLICY_NAMES
 from repro.experiments.common import pipeline_for, scale_for
 from repro.hw.devices import device_profiles
+from repro.parallel.sweep import run_sweep
 from repro.serving.arrivals import (
     diurnal_arrivals,
     flash_crowd_arrivals,
@@ -42,6 +43,7 @@ from repro.serving.arrivals import (
     zipf_popularity,
 )
 from repro.serving.backends import BranchyNetBackend, CBNetBackend, InferenceBackend
+from repro.sim import oracle_backend
 from repro.utils.rng import as_generator, derive_seed
 
 __all__ = ["FLEET_SCENARIOS", "FleetSpec", "FleetComparison", "run_fleet_comparison"]
@@ -159,6 +161,51 @@ def _default_fleet(fast: bool, seed: int, dataset: str):
     return spec, test.images, test.labels
 
 
+def _oracle_fleet(fleet: FleetSpec, images: np.ndarray) -> FleetSpec:
+    """Wrap every backend (incl. spawned units) in the inference oracle.
+
+    Tables are memoized per (model, threshold, image pool), so the three
+    device calibrations of one model share one precomputation and every
+    autoscaler spawn is a cheap cache hit.
+    """
+    spawn = fleet.spawn_backend
+    return replace(
+        fleet,
+        backends=tuple(oracle_backend(b, images) for b in fleet.backends),
+        degrade_backends=tuple(
+            oracle_backend(b, images) for b in fleet.degrade_backends
+        ),
+        spawn_backend=lambda: oracle_backend(spawn(), images),
+    )
+
+
+def _run_policy_cell(task) -> ClusterReport:
+    """One (scenario, policy) grid cell — module-level for the pool."""
+    (
+        backends,
+        policy,
+        scenario,
+        arrival_s,
+        images,
+        labels,
+        slo_s,
+        max_batch_size,
+        max_wait_s,
+        cache_capacity,
+        cell_seed,
+    ) = task
+    cluster = Cluster(
+        list(backends),
+        policy=policy,
+        slo_s=slo_s,
+        max_batch_size=max_batch_size,
+        max_wait_s=max_wait_s,
+        cache_capacity=cache_capacity,
+        rng=cell_seed,
+    )
+    return cluster.serve(images, arrival_s, labels=labels, scenario=scenario)
+
+
 def run_fleet_comparison(
     fast: bool = True,
     seed: int = 0,
@@ -170,6 +217,8 @@ def run_fleet_comparison(
     fleet: FleetSpec | None = None,
     images: np.ndarray | None = None,
     labels: np.ndarray | None = None,
+    live: bool = False,
+    jobs: int = 1,
 ) -> FleetComparison:
     """Run the three fleet studies and return every report.
 
@@ -178,12 +227,22 @@ def run_fleet_comparison(
     toy ``fleet`` (plus ``images``/``labels``) to exercise the full
     experiment path without trained models — that is what the smoke
     tests do.
+
+    By default the fleet runs in oracle mode: one precomputed inference
+    pass per model over the unique image pool serves every scenario,
+    policy, and replica (``live=True`` restores in-loop inference — the
+    equivalence tests' reference path).  ``jobs > 1`` fans the
+    scenario × policy grid over a process pool via
+    :func:`repro.parallel.sweep.run_sweep`; results are identical to the
+    serial order (each cell derives its own seed).
     """
     unknown = set(scenarios) - set(FLEET_SCENARIOS)
     if unknown:
         raise ValueError(
             f"unknown scenarios: {sorted(unknown)} (choose from {FLEET_SCENARIOS})"
         )
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
     if fleet is None:
         fleet, images, labels = _default_fleet(fast, seed, dataset)
     elif images is None:
@@ -204,9 +263,12 @@ def run_fleet_comparison(
 
     stream_rng = as_generator(derive_seed(seed, dataset, "fleet-stream"))
     indices = zipf_popularity(len(images), n_requests, exponent=0.9, rng=stream_rng)
-    req_images, req_labels = images[indices], (
-        labels[indices] if labels is not None else None
-    )
+    req_labels = labels[indices] if labels is not None else None
+    if live:
+        req_images = images[indices]
+    else:
+        fleet = _oracle_fleet(fleet, images)
+        req_images = indices
 
     def arrivals_for(scenario: str) -> np.ndarray:
         rng = as_generator(derive_seed(seed, dataset, f"fleet-{scenario}"))
@@ -230,24 +292,31 @@ def run_fleet_comparison(
             rng=rng,
         )
 
-    policy_reports: dict[str, list[ClusterReport]] = {}
-    for scenario in scenarios:
-        arrival_s = arrivals_for(scenario)
-        row = []
-        for policy in policies:
-            cluster = Cluster(
-                list(fleet.backends),
-                policy=policy,
-                slo_s=slo_s,
-                max_batch_size=fleet.max_batch_size,
-                max_wait_s=fleet.max_wait_s,
-                cache_capacity=cache_capacity,
-                rng=derive_seed(seed, scenario, policy),
-            )
-            row.append(
-                cluster.serve(req_images, arrival_s, labels=req_labels, scenario=scenario)
-            )
-        policy_reports[scenario] = row
+    # The scenario × policy grid is embarrassingly parallel: every cell
+    # builds its own Cluster and derives its own seed, so `jobs` workers
+    # return bit-identical reports in the serial order.
+    arrivals = {scenario: arrivals_for(scenario) for scenario in scenarios}
+    cells = [
+        (
+            fleet.backends,
+            policy,
+            scenario,
+            arrivals[scenario],
+            req_images,
+            req_labels,
+            slo_s,
+            fleet.max_batch_size,
+            fleet.max_wait_s,
+            cache_capacity,
+            derive_seed(seed, scenario, policy),
+        )
+        for scenario in scenarios
+        for policy in policies
+    ]
+    results = run_sweep(_run_policy_cell, cells, n_workers=jobs, parallel=jobs > 1)
+    policy_reports: dict[str, list[ClusterReport]] = {s: [] for s in scenarios}
+    for result in results:
+        policy_reports[result.value.scenario].append(result.value)
 
     autoscaler_reports = _autoscaler_study(
         fleet, req_images, req_labels, n_requests, cache_capacity, seed, dataset

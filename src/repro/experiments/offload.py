@@ -25,6 +25,7 @@ topology (:mod:`repro.offload`):
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -49,6 +50,7 @@ from repro.offload.policies import (
     OffloadPolicy,
     TensorCodec,
 )
+from repro.parallel.sweep import run_sweep
 from repro.serving.arrivals import poisson_arrivals, zipf_popularity
 from repro.utils.rng import as_generator, derive_seed
 
@@ -137,6 +139,34 @@ def _split_sweep(models: dict[str, object], edge, cloud) -> tuple[list[Table], l
     return tables, lines
 
 
+def _run_offload_cell(ctx: dict, task: tuple) -> OffloadReport:
+    """One (policy, codec) study cell — module-level for the pool."""
+    policy, codec_name, tag = task
+    codec = TensorCodec(codec_name)
+    cloud = cloud_server_for(
+        policy,
+        ctx["branchy"],
+        ctx["cloud_dev"],
+        oracle=ctx["oracle"],
+        codec=codec,
+        max_batch_size=16,
+        max_wait_s=0.004,
+    )
+    tier = EdgeTier(
+        ctx["branchy"],
+        ctx["edge"],
+        ctx["link"],
+        cloud,
+        policy,
+        codec=codec,
+        oracle=ctx["oracle"],
+        rng=as_generator(derive_seed(ctx["seed"], ctx["dataset"], "offload-link", tag)),
+    )
+    return tier.serve(
+        ctx["images"], ctx["arrival_s"], labels=ctx["labels"], scenario="steady"
+    )
+
+
 def run_offload_study(
     fast: bool = True,
     seed: int = 0,
@@ -145,6 +175,8 @@ def run_offload_study(
     link_name: str = "lte",
     policies: tuple[OffloadPolicy, ...] | None = None,
     codecs: tuple[str, ...] = OFFLOAD_CODECS,
+    live: bool = False,
+    jobs: int = 1,
 ) -> OffloadStudy:
     """Run the three offload studies and return every report.
 
@@ -153,6 +185,14 @@ def run_offload_study(
     strategies, not luck.  The load is sized from the calibrated device
     and link models — see :class:`OffloadStudy` for the three rates the
     asserted benchmark checks.
+
+    By default the edge gate, local trunk, and cloud tier answer from a
+    precomputed :class:`~repro.sim.OffloadOracle` over the unique test
+    images (one pass shared by every policy and codec run, including the
+    codec-decoded cloud predictions); ``live=True`` keeps real in-loop
+    inference.  ``jobs > 1`` fans the policy/codec grid over a process
+    pool via :func:`repro.parallel.sweep.run_sweep` with identical
+    results (each cell derives its own seed).
     """
     scale = scale_for(fast)
     artifacts = pipeline_for(dataset, scale, seed=seed)
@@ -205,24 +245,63 @@ def run_offload_study(
             DeadlineAware(deadline_s=0.2),
         )
 
-    def run(policy: OffloadPolicy, codec: TensorCodec, tag: str) -> OffloadReport:
-        cloud = cloud_server_for(
-            policy, branchy, cloud_dev, max_batch_size=16, max_wait_s=0.004
-        )
-        tier = EdgeTier(
-            branchy,
-            edge,
-            link,
-            cloud,
-            policy,
-            codec=codec,
-            rng=as_generator(derive_seed(seed, dataset, "offload-link", tag)),
-        )
-        return tier.serve(images, arrival_s, labels=labels, scenario="steady")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    oracle = None
+    if live:
+        req_images = images
+    else:
+        from repro.sim import offload_oracle
 
-    policy_reports = [run(p, TensorCodec(), p.name) for p in policies]
-    # The policy grid already produced the float32 entropy-gated run;
-    # reuse it as the codec baseline instead of re-simulating it.
+        # One shared precomputation: gate statistics, local trunk, stem
+        # features, and per-codec cloud predictions over the unique pool.
+        oracle = offload_oracle(branchy, test.images)
+        req_images = indices
+    ctx = {
+        "branchy": branchy,
+        "edge": edge,
+        "cloud_dev": cloud_dev,
+        "link": link,
+        "oracle": oracle,
+        "images": req_images,
+        "arrival_s": arrival_s,
+        "labels": labels,
+        "seed": seed,
+        "dataset": dataset,
+    }
+    # One flat (policy, codec) grid; the float32 entropy-gated run doubles
+    # as the codec baseline instead of being re-simulated.
+    cells = [(p, "float32", p.name) for p in policies]
+    has_gated_f32 = any(p.name == "entropy-gated" for p in policies)
+    codec_cells = {
+        c: (EntropyGated(), c, f"codec-{c}")
+        for c in codecs
+        if not (c == "float32" and has_gated_f32)
+    }
+    cells.extend(codec_cells.values())
+    if oracle is not None and jobs > 1:
+        # Force the oracle's lazy per-(payload, codec) caches — stem
+        # features, decoded payloads, cloud tables — in the parent, so
+        # workers inherit them populated instead of each cell re-running
+        # the very model passes the oracle exists to amortize.
+        distinct: dict[tuple[str, str], tuple] = {}
+        for policy, codec_name, _ in cells:
+            distinct.setdefault((policy.payload, codec_name), (policy, codec_name))
+        for policy, codec_name in distinct.values():
+            cloud_server_for(policy, branchy, cloud_dev, oracle=oracle,
+                             codec=TensorCodec(codec_name))
+    results = run_sweep(
+        functools.partial(_run_offload_cell, ctx), cells, n_workers=jobs,
+        parallel=jobs > 1,
+    )
+    # run_sweep keeps cell order, so the first len(policies) results ARE
+    # the policy grid (positional — robust to duplicate policy names);
+    # the remaining codec cells have unique tags by construction.
+    cell_values = [r.value for r in results]
+    policy_reports = cell_values[: len(policies)]
+    codec_by_tag = {
+        cells[i][2]: cell_values[i] for i in range(len(policies), len(cells))
+    }
     baseline = next(
         (r for r in policy_reports if r.policy == "entropy-gated" and r.codec == "float32"),
         None,
@@ -230,7 +309,7 @@ def run_offload_study(
     codec_reports = [
         baseline
         if c == "float32" and baseline is not None
-        else run(EntropyGated(), TensorCodec(c), f"codec-{c}")
+        else codec_by_tag[f"codec-{c}"]
         for c in codecs
     ]
 

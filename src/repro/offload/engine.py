@@ -3,7 +3,7 @@
 :class:`EdgeTier` fronts a cloud serving tier — a single
 :class:`~repro.serving.engine.Server` or a whole
 :class:`~repro.cluster.engine.Cluster` fleet (anything exposing
-``serve_detailed``) — with one weak edge device behind a
+``serve_log``) — with one weak edge device behind a
 :class:`~repro.hw.network.NetworkLink`.  It replays an arrival trace on
 the shared virtual clock:
 
@@ -97,6 +97,8 @@ def cloud_server_for(
     policy: OffloadPolicy,
     branchynet,
     cloud_device: DeviceProfile,
+    oracle=None,
+    codec: TensorCodec | None = None,
     **server_kwargs,
 ) -> Server:
     """A cloud :class:`Server` whose backend matches the policy's payload.
@@ -104,7 +106,11 @@ def cloud_server_for(
     ``"split"`` payloads get a :class:`RemoteTrunkBackend` (resume from
     the stem activation); ``"input"`` payloads get a full
     :class:`~repro.serving.backends.BranchyNetBackend` (classic full
-    offloading of the raw image).
+    offloading of the raw image).  Passing the edge tier's
+    :class:`~repro.sim.OffloadOracle` (plus the wire ``codec``) wraps
+    the backend in a :class:`~repro.sim.OracleBackend` over the decoded
+    payloads, so the cloud serves precomputed predictions on the same
+    sample-id stream the oracle edge tier ships.
     """
     if policy.payload == "split":
         backend = RemoteTrunkBackend(branchynet, cloud_device)
@@ -112,6 +118,11 @@ def cloud_server_for(
         from repro.serving.backends import BranchyNetBackend
 
         backend = BranchyNetBackend(branchynet, cloud_device)
+    if oracle is not None:
+        from repro.sim.oracle import OracleBackend
+
+        table = oracle.cloud_table(backend, policy.payload, codec or TensorCodec())
+        backend = OracleBackend(backend, table)
     return Server(backend, **server_kwargs)
 
 
@@ -216,6 +227,15 @@ def offload_comparison_table(reports: list[OffloadReport], title: str = "") -> T
 _LOCAL_EASY, _LOCAL_HARD, _OFFLOADED = 0, 1, 2
 
 
+def _cloud_is_oracle(cloud) -> bool:
+    """Whether a cloud tier (Server or Cluster) answers from oracle tables."""
+    backend = getattr(cloud, "backend", None)  # serving.Server
+    if backend is not None:
+        return bool(backend.oracle)
+    replicas = getattr(cloud, "replicas", ())  # cluster.Cluster
+    return bool(replicas) and all(r.backend.oracle for r in replicas)
+
+
 class EdgeTier:
     """Split inference between one edge device and a cloud serving tier.
 
@@ -234,7 +254,7 @@ class EdgeTier:
     cloud:
         The cloud tier: a :class:`~repro.serving.engine.Server` or
         :class:`~repro.cluster.engine.Cluster` (anything with
-        ``serve_detailed``).  Its backend must match the policy's
+        ``serve_log``).  Its backend must match the policy's
         payload — see :func:`cloud_server_for`.
     policy:
         An :class:`~repro.offload.policies.OffloadPolicy`.
@@ -249,6 +269,14 @@ class EdgeTier:
     cloud_est_s:
         Expected cloud service time for the deadline policy's remote
         estimate; inferred from the cloud tier's backend when omitted.
+    oracle:
+        Optional :class:`~repro.sim.OffloadOracle`.  When given, the
+        request stream carries sample ids into the oracle's image pool:
+        the edge gate, local trunk, and payload sizing answer from the
+        precomputed tables, and the cloud tier (whose backend must be
+        oracle-wrapped — see :func:`cloud_server_for`) serves the same
+        ids.  All virtual-clock quantities stay identical to the live
+        path.
     """
 
     def __init__(
@@ -261,11 +289,19 @@ class EdgeTier:
         codec: TensorCodec | None = None,
         rng: np.random.Generator | int | None = 0,
         cloud_est_s: float | None = None,
+        oracle=None,
     ) -> None:
-        if not hasattr(cloud, "serve_detailed"):
+        if not hasattr(cloud, "serve_log"):
             raise TypeError(
-                f"cloud tier {type(cloud).__name__} lacks serve_detailed(); "
-                "pass a repro.serving.Server or repro.cluster.Cluster"
+                f"cloud tier {type(cloud).__name__} lacks serve_log()/"
+                "serve_detailed(); pass a repro.serving.Server or "
+                "repro.cluster.Cluster"
+            )
+        if oracle is not None and not _cloud_is_oracle(cloud):
+            raise TypeError(
+                "an oracle EdgeTier ships sample ids, so the cloud tier's "
+                "backend must be oracle-wrapped too — build it via "
+                "cloud_server_for(..., oracle=...)"
             )
         self.branchynet = branchynet
         self.edge_device = edge_device
@@ -273,6 +309,7 @@ class EdgeTier:
         self.cloud = cloud
         self.policy = policy
         self.codec = codec or TensorCodec()
+        self.oracle = oracle
         self.rng = as_generator(rng)
         lat = branchynet_expected_latency(branchynet, edge_device, exit_rate=1.0)
         #: Edge cost of one gate pass (stem + branch + gate decision).
@@ -310,26 +347,26 @@ class EdgeTier:
         genuine end-to-end accuracy (branch exits, local trunks, and
         cloud completions alike).
         """
-        images = np.asarray(images)
-        arrival_s = np.asarray(arrival_s, dtype=np.float64)
-        if images.shape[0] != arrival_s.shape[0]:
-            raise ValueError(
-                f"{images.shape[0]} images vs {arrival_s.shape[0]} arrival times"
-            )
-        if arrival_s.size == 0:
-            raise ValueError("cannot serve an empty request stream")
-        if np.any(np.diff(arrival_s) < 0):
-            raise ValueError("arrival times must be non-decreasing")
+        from repro.sim.core import validate_trace
+
+        images, arrival_s = validate_trace(images, arrival_s)
         n = images.shape[0]
 
         threshold = float(self.branchynet.entropy_threshold)
-        if self.policy.runs_gate:
-            entropies, branch_preds = self.branchynet.branch_gate(images)
-        else:
+        if not self.policy.runs_gate:
             entropies = np.full(n, np.nan, dtype=np.float64)
             branch_preds = np.full(n, -1, dtype=np.int64)
+        elif self.oracle is not None:
+            # One precomputed stem+branch pass over the unique pool
+            # replaces gating the (much longer, repeat-heavy) stream.
+            entropies = self.oracle.entropy[images]
+            branch_preds = self.oracle.branch_preds[images]
+        else:
+            entropies, branch_preds = self.branchynet.branch_gate(images)
 
-        if self.policy.payload == "split":
+        if self.oracle is not None:
+            boundary_elems = self.oracle.boundary_elems(self.policy.payload)
+        elif self.policy.payload == "split":
             boundary_elems = int(
                 np.prod(stage_cost("stem", self.branchynet.stem, images.shape[1:]).out_shape)
             )
@@ -434,9 +471,12 @@ class EdgeTier:
     # local hard path + cloud tier
     # ------------------------------------------------------------------ #
     def _run_local_hard(self, images, outcome, predictions) -> None:
-        """Real trunk predictions for hard samples kept on the edge."""
+        """Trunk predictions for hard samples kept on the edge."""
         hard_idx = np.flatnonzero(outcome == _LOCAL_HARD)
         if not hard_idx.size:
+            return
+        if self.oracle is not None:
+            predictions[hard_idx] = self.oracle.trunk_preds[images[hard_idx]]
             return
         result = self.branchynet.infer(images[hard_idx], threshold=-1.0)
         predictions[hard_idx] = result.predictions
@@ -452,30 +492,29 @@ class EdgeTier:
         ready_s = np.array([ship[k][1] for k in order])
         cloud_arrival = np.array([ship[k][2] for k in order])
 
-        if self.policy.payload == "split":
+        if self.oracle is not None:
+            # Sample ids travel as-is; the (already decoded) payloads
+            # live in the cloud backend's precomputed table.
+            payloads = images[req_ids]
+        elif self.policy.payload == "split":
             raw = self.branchynet.stem_features(images[req_ids])
+            payloads = self._decode(raw)
         else:
             raw = np.ascontiguousarray(images[req_ids], dtype=np.float32)
-        # Each request ships (and dequantizes) its own tensor, exactly as
-        # the wire-byte accounting assumes; the dtype codecs decode a
-        # whole batch losslessly, so only the per-payload quantizers
-        # (whose scale/codebook is per tensor) pay a loop.
-        if self.codec.dtype in ("float32", "float16"):
-            payloads = self.codec.decode(raw)
-        else:
-            payloads = np.stack([self.codec.decode(t) for t in raw])
+            payloads = self._decode(raw)
 
-        report, cloud_requests = self.cloud.serve_detailed(
+        report, cloud_log = self.cloud.serve_log(
             payloads, cloud_arrival, scenario=f"{scenario}-offload"
         )
         # Responses ride the downlink in cloud-*completion* order (a
         # cluster's replicas may finish out of arrival order); requests a
         # shedding cloud tier never served end the trace unserved instead
         # of poisoning the downlink queue with NaN.
+        cloud_done_s = cloud_log.completion_s
         finished = [
-            (cloud_requests[pos].completion_s, pos, req_id)
+            (cloud_done_s[pos], pos, req_id)
             for pos, req_id in enumerate(req_ids)
-            if np.isfinite(cloud_requests[pos].completion_s)
+            if np.isfinite(cloud_done_s[pos])
         ]
         finished.sort()
         downlink_free = 0.0
@@ -487,10 +526,22 @@ class EdgeTier:
             downlink_free = tx_start + transfer.occupancy_s
             done = downlink_free + transfer.propagation_s
             completion[req_id] = done
-            predictions[req_id] = cloud_requests[pos].prediction
+            predictions[req_id] = cloud_log.prediction[pos]
             cloud_part[req_id] = cloud_done - cloud_arrival[pos]
             net_part[req_id] = (cloud_arrival[pos] - ready_s[pos]) + (done - cloud_done)
         return report
+
+    def _decode(self, raw: np.ndarray) -> np.ndarray:
+        """Wire round-trip of one payload batch.
+
+        Each request ships (and dequantizes) its own tensor, exactly as
+        the wire-byte accounting assumes; the dtype codecs decode a
+        whole batch losslessly, so only the per-payload quantizers
+        (whose scale/codebook is per tensor) pay a loop.
+        """
+        if self.codec.dtype in ("float32", "float16"):
+            return self.codec.decode(raw)
+        return np.stack([self.codec.decode(t) for t in raw])
 
     # ------------------------------------------------------------------ #
     # reporting

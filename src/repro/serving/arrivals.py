@@ -11,6 +11,8 @@ earn its keep).
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.utils.rng import as_generator
@@ -93,6 +95,36 @@ def bursty_arrivals(
     return out
 
 
+def _thinned_poisson(
+    rng: np.random.Generator,
+    peak_hz: float,
+    rate_fn,
+    n: int,
+    chunk: int,
+) -> np.ndarray:
+    """Exact Lewis–Shedler thinning, vectorized in fixed-size chunks.
+
+    Candidates arrive as a homogeneous Poisson stream at ``peak_hz``
+    (one ``cumsum`` of exponential gaps per chunk) and survive with
+    probability ``rate_fn(t) / peak_hz`` (one uniform array per chunk) —
+    an exact sampler of the inhomogeneous process with no per-event
+    Python loop.  The chunk size is a pure function of the caller's
+    arguments, so a given seed always consumes the generator identically
+    and yields the same trace.
+    """
+    out = np.empty(n, dtype=np.float64)
+    t = 0.0
+    produced = 0
+    while produced < n:
+        times = t + np.cumsum(rng.exponential(1.0 / peak_hz, chunk))
+        kept = times[rng.random(chunk) * peak_hz < rate_fn(times)]
+        take = min(n - produced, kept.shape[0])
+        out[produced : produced + take] = kept[:take]
+        produced += take
+        t = float(times[-1])
+    return out
+
+
 def diurnal_arrivals(
     mean_rate_hz: float,
     n: int,
@@ -104,10 +136,12 @@ def diurnal_arrivals(
 
     The instantaneous rate is ``mean_rate_hz * (1 + depth * sin(2πt/period_s))``
     — a smooth swing between off-peak (``1-depth``) and peak (``1+depth``)
-    load, sampled exactly via Lewis–Shedler thinning.  This is the load
-    shape autoscalers exist for: capacity sized for the peak wastes
-    replica-seconds all night, capacity sized for the mean melts every
-    peak.
+    load, sampled exactly via vectorized Lewis–Shedler thinning (the
+    whole trace is emitted in a handful of array operations; see the
+    pinned-trace regression test in ``tests/serving/test_arrivals.py``).
+    This is the load shape autoscalers exist for: capacity sized for the
+    peak wastes replica-seconds all night, capacity sized for the mean
+    melts every peak.
     """
     if mean_rate_hz <= 0:
         raise ValueError(f"arrival rate must be positive, got {mean_rate_hz}")
@@ -119,16 +153,14 @@ def diurnal_arrivals(
         raise ValueError(f"depth must be in [0, 1), got {depth}")
     rng = as_generator(rng)
     peak = mean_rate_hz * (1.0 + depth)
-    out = np.empty(n, dtype=np.float64)
-    t = 0.0
-    produced = 0
-    while produced < n:
-        t += rng.exponential(1.0 / peak)
-        rate = mean_rate_hz * (1.0 + depth * np.sin(2.0 * np.pi * t / period_s))
-        if rng.random() * peak < rate:
-            out[produced] = t
-            produced += 1
-    return out
+    # Mean acceptance is 1 / (1 + depth); size chunks so one usually
+    # covers the request (bounded for million-request traces).
+    chunk = max(256, min(1 << 20, int(math.ceil(1.15 * n * (1.0 + depth))) + 64))
+
+    def rate(t: np.ndarray) -> np.ndarray:
+        return mean_rate_hz * (1.0 + depth * np.sin(2.0 * np.pi * t / period_s))
+
+    return _thinned_poisson(rng, peak, rate, n, chunk)
 
 
 def flash_crowd_arrivals(
@@ -145,7 +177,10 @@ def flash_crowd_arrivals(
     ``[spike_start_s, spike_start_s + spike_duration_s)``, where it jumps
     to ``peak_rate_hz`` with no ramp — the step change that separates
     balancing policies by how badly the slowest replica's queue explodes
-    before the fleet reacts.
+    before the fleet reacts.  Sampled exactly by vectorized thinning of
+    a ``peak_rate_hz`` candidate stream (step rates are just a thinning
+    probability that switches at the boundaries), deterministic per
+    seed with no per-event loop.
     """
     if base_rate_hz <= 0:
         raise ValueError(f"base rate must be positive, got {base_rate_hz}")
@@ -159,24 +194,19 @@ def flash_crowd_arrivals(
         raise ValueError("spike_start_s must be >= 0 and spike_duration_s positive")
     rng = as_generator(rng)
     spike_end_s = spike_start_s + spike_duration_s
-    out = np.empty(n, dtype=np.float64)
-    t = 0.0
-    produced = 0
-    while produced < n:
-        rate = peak_rate_hz if spike_start_s <= t < spike_end_s else base_rate_hz
-        t_next = t + rng.exponential(1.0 / rate)
-        # Memoryless: a draw crossing a rate boundary restarts at the
-        # boundary under the new rate instead of being kept.
-        if t < spike_start_s < t_next:
-            t = spike_start_s
-            continue
-        if t < spike_end_s <= t_next and t >= spike_start_s:
-            t = spike_end_s
-            continue
-        t = t_next
-        out[produced] = t
-        produced += 1
-    return out
+    # Acceptance off-spike is base/peak; size chunks for that worst case
+    # (bounded for million-request traces).
+    chunk = max(
+        256,
+        min(1 << 20, int(math.ceil(1.15 * n * peak_rate_hz / base_rate_hz)) + 64),
+    )
+
+    def rate(t: np.ndarray) -> np.ndarray:
+        return np.where(
+            (spike_start_s <= t) & (t < spike_end_s), peak_rate_hz, base_rate_hz
+        )
+
+    return _thinned_poisson(rng, peak_rate_hz, rate, n, chunk)
 
 
 def trace_arrivals(times_s) -> np.ndarray:

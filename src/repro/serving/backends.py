@@ -80,6 +80,10 @@ class InferenceBackend:
     name: str = "backend"
     #: Per-sample input shape used by :meth:`warmup`.
     in_shape: tuple[int, ...] = (1, 28, 28)
+    #: True for table-driven backends (:class:`repro.sim.OracleBackend`)
+    #: whose ``route``/``predict`` take sample ids instead of pixels; the
+    #: engines key the result cache on the ids and skip model warmup.
+    oracle: bool = False
 
     def __init__(self, timing: BatchTiming, router: EntropyRouter | None = None):
         self.timing = timing

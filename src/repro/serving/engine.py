@@ -2,23 +2,29 @@
 
 :class:`Server` turns the passive M/D/1 analysis of
 :mod:`repro.hw.serving` into an executable engine.  It replays an
-arrival trace against a real model backend on a *virtual clock*:
+arrival trace against a model backend on a *virtual clock*:
 
-1. each arriving request is hashed and checked against the LRU result
-   cache — hits bypass the queue entirely;
+1. each arriving request is checked against the LRU result cache — hits
+   bypass the queue entirely (live backends hash the image; oracle
+   backends key on the sample id);
 2. misses enter the :class:`~repro.serving.batcher.MicroBatcher`, which
    flushes on a size or deadline trigger;
 3. a flushed batch is dispatched to the earliest-free worker of a
    ``n_workers``-server pool; dynamic backends first route the batch
    into easy/hard sub-batches (hard → full-exit path);
 4. service time follows the backend's calibrated device timing model,
-   while predictions come from running the real model — fanned out over
-   :func:`repro.parallel.pool.parallel_map` once the timeline is fixed.
+   while predictions come from the backend — real model inference
+   (fanned out over :func:`repro.parallel.pool.parallel_map` once the
+   timeline is fixed), or precomputed-table lookups when the backend is
+   a :class:`repro.sim.OracleBackend`.
 
-Everything observable lands in a :class:`ServingReport` (throughput,
-sojourn percentiles, cache hit rate, batch-size histogram, accuracy)
-that renders through :mod:`repro.eval.tables` and feeds the combined
-experiment report.
+Bookkeeping rides the structure-of-arrays
+:class:`~repro.sim.records.RequestLog` (one NumPy column per outcome
+field), so the hot loop is heap pops plus array writes and the report is
+vectorized reductions.  Everything observable lands in a
+:class:`ServingReport` (throughput, sojourn percentiles, cache hit rate,
+batch-size histogram, accuracy) that renders through
+:mod:`repro.eval.tables` and feeds the combined experiment report.
 """
 
 from __future__ import annotations
@@ -36,8 +42,15 @@ from repro.eval.tables import Table
 from repro.parallel.pool import parallel_map
 from repro.serving.backends import InferenceBackend
 from repro.serving.batcher import MicroBatcher
-from repro.serving.cache import LRUResultCache, image_key
-from repro.serving.request import Request, Route
+from repro.serving.cache import LRUResultCache
+from repro.serving.request import Request
+from repro.sim.core import request_keys, validate_trace
+from repro.sim.records import (
+    ROUTE_CACHED,
+    ROUTE_EASY,
+    ROUTE_HARD,
+    RequestLog,
+)
 
 __all__ = ["Server", "ServingReport", "comparison_table"]
 
@@ -131,14 +144,16 @@ class Server:
     ----------
     backend:
         An :class:`~repro.serving.backends.InferenceBackend` (model +
-        device timing).
+        device timing), or a :class:`repro.sim.OracleBackend` wrapping
+        one — in which case the request stream carries sample ids.
     max_batch_size, max_wait_s:
         Micro-batcher triggers (see :class:`~repro.serving.batcher.MicroBatcher`).
         ``max_wait_s=0`` disables batching (pure FIFO).
     n_workers:
         Parallel model replicas; a flushed batch goes to the
-        earliest-free worker.  Predictions are likewise fanned out over
-        a process pool.
+        earliest-free worker.  Live predictions are likewise fanned out
+        over a process pool (oracle lookups stay serial — cheaper than
+        pickling).
     cache_capacity:
         LRU result-cache entries; ``0`` disables caching.
     cache_lookup_s:
@@ -182,10 +197,11 @@ class Server:
 
         ``images[i]`` arrives at ``arrival_s[i]`` (non-decreasing).
         ``labels`` (optional) adds end-to-end accuracy to the report —
-        predictions are real model outputs, so this is a genuine
-        served-traffic accuracy, not a replayed number.
+        predictions are the backend's genuine outputs (real inference,
+        or the oracle table built from it), so this is a served-traffic
+        accuracy, not a placeholder.
         """
-        report, _ = self.serve_detailed(images, arrival_s, labels, scenario)
+        report, _ = self.serve_log(images, arrival_s, labels, scenario)
         return report
 
     def serve_detailed(
@@ -195,84 +211,92 @@ class Server:
         labels: np.ndarray | None = None,
         scenario: str = "trace",
     ) -> tuple[ServingReport, list[Request]]:
-        """:meth:`serve`, additionally returning the per-request records.
+        """:meth:`serve`, additionally returning per-request records.
 
         The request list carries completion time, route, prediction, and
         batch size per request — what a composing tier (the edge side of
         :mod:`repro.offload`) needs to continue each request's timeline
-        after the server answered.
+        after the server answered.  Prefer :meth:`serve_log` when the
+        array view suffices — it skips materializing request objects.
         """
-        images = np.asarray(images)
-        arrival_s = np.asarray(arrival_s, dtype=np.float64)
-        if images.shape[0] != arrival_s.shape[0]:
-            raise ValueError(
-                f"{images.shape[0]} images vs {arrival_s.shape[0]} arrival times"
+        report, log = self.serve_log(images, arrival_s, labels, scenario)
+        return report, log.to_requests()
+
+    def serve_log(
+        self,
+        images: np.ndarray,
+        arrival_s: np.ndarray,
+        labels: np.ndarray | None = None,
+        scenario: str = "trace",
+    ) -> tuple[ServingReport, RequestLog]:
+        """:meth:`serve`, additionally returning the SoA request log."""
+        images, arrival_s = validate_trace(images, arrival_s)
+        oracle = self.backend.oracle
+        if not oracle:
+            # Pay the fastpath plan compilation for the routing path
+            # (and, with n_workers == 1, the prediction path) before
+            # dispatch.  Pooled workers receive the backend without
+            # cached plans (Module.__getstate__) and retrace on their
+            # first batch.  Wall-clock only — the virtual clock never
+            # sees it — and a no-op when this shape is already warmed.
+            self.backend.warmup(
+                min(self.max_batch_size, images.shape[0]),
+                sample_shape=images.shape[1:],
             )
-        if arrival_s.size == 0:
-            raise ValueError("cannot serve an empty request stream")
-        if np.any(np.diff(arrival_s) < 0):
-            raise ValueError("arrival times must be non-decreasing")
 
-        # Pay the fastpath plan compilation for the routing path (and,
-        # with n_workers == 1, the prediction path) before dispatch.
-        # Pooled workers receive the backend without cached plans
-        # (Module.__getstate__) and retrace on their first batch.
-        # Wall-clock only — the virtual clock never sees it — and a
-        # no-op when this shape is already warmed.
-        self.backend.warmup(
-            min(self.max_batch_size, images.shape[0]), sample_shape=images.shape[1:]
-        )
-
-        requests = [Request(i, float(t)) for i, t in enumerate(arrival_s)]
+        log = RequestLog(arrival_s)
         batcher = MicroBatcher(self.max_batch_size, self.max_wait_s)
         cache = LRUResultCache(self.cache_capacity)
         workers = [0.0] * self.n_workers
         batches: list[tuple[list[int], object]] = []  # (indices, RouteDecision|None)
         busy_s = 0.0
-        inserts: list[tuple[float, str, int]] = []  # completion-time heap
+        inserts: list[tuple[float, int, object]] = []  # completion-time heap
 
-        keys = None
-        if self.cache_capacity > 0:
-            keys = [image_key(images[i]) for i in range(images.shape[0])]
+        keys = request_keys(images, oracle) if self.cache_capacity > 0 else None
+        completion = log.completion_s
+        route = log.route
+        batch_size = log.batch_size
+        source_id = log.source_id
 
         def dispatch(indices: list[int], flush_s: float) -> None:
             nonlocal busy_s
-            decision = self.backend.route(images[indices])
+            # One list→array conversion reused by every fancy-index op.
+            idx = np.asarray(indices, dtype=np.intp)
+            decision = self.backend.route(images[idx])
             n_hard = decision.n_hard if decision is not None else 0
             service = self.backend.batch_service_s(len(indices), n_hard)
             w = min(range(self.n_workers), key=workers.__getitem__)
             start = max(flush_s, workers[w])
-            completion = start + service
-            workers[w] = completion
+            done = start + service
+            workers[w] = done
             busy_s += service
-            for pos, idx in enumerate(indices):
-                req = requests[idx]
-                req.completion_s = completion
-                req.batch_size = len(indices)
-                if decision is None:
-                    req.route = Route.BATCHED
-                else:
-                    req.route = Route.EASY if decision.easy[pos] else Route.HARD
-                if keys is not None:
-                    heapq.heappush(inserts, (completion, keys[idx], idx))
-            batches.append((indices, decision))
+            completion[idx] = done
+            batch_size[idx] = len(indices)
+            if decision is not None:
+                route[idx] = np.where(decision.easy, ROUTE_EASY, ROUTE_HARD)
+            if keys is not None:
+                # Results become visible at their batch's completion
+                # time; ties break on the request index so insertion
+                # order is identical whatever the key type (pixel hash
+                # or oracle sample id).
+                for i in indices:
+                    heapq.heappush(inserts, (done, i, keys[i]))
+            batches.append((idx, decision))
 
-        for i, req in enumerate(requests):
-            now = req.arrival_s
+        for i, now in enumerate(arrival_s.tolist()):
             # Deadline-triggered flushes that fire before this arrival.
             while batcher and batcher.deadline_s <= now:
                 flush_at = batcher.deadline_s
                 dispatch(batcher.flush(), flush_at)
             if keys is not None:
-                # Results become visible at their batch's completion time.
                 while inserts and inserts[0][0] <= now:
-                    _, key, src = heapq.heappop(inserts)
+                    _, src, key = heapq.heappop(inserts)
                     cache.put(key, src)
                 hit = cache.get(keys[i])
                 if hit is not None:
-                    req.route = Route.CACHED
-                    req.source_id = int(hit)
-                    req.completion_s = now + self.cache_lookup_s
+                    route[i] = ROUTE_CACHED
+                    source_id[i] = int(hit)
+                    completion[i] = now + self.cache_lookup_s
                     continue
             batcher.add(i, now)
             if batcher.should_flush(now):
@@ -281,65 +305,68 @@ class Server:
             flush_at = batcher.deadline_s
             dispatch(batcher.flush(), flush_at)
 
-        self._fill_predictions(requests, batches, images)
-        report = self._report(
-            requests, batches, arrival_s, labels, cache, busy_s, scenario
-        )
-        return report, requests
+        self._fill_predictions(log, batches, images)
+        report = self._report(log, batches, arrival_s, labels, cache, busy_s, scenario)
+        return report, log
 
     # ------------------------------------------------------------------ #
-    # real inference over the worker pool
+    # inference over the worker pool
     # ------------------------------------------------------------------ #
-    def _fill_predictions(self, requests, batches, images) -> None:
-        """Run the backend's real model over every dispatched batch.
+    def _fill_predictions(self, log: RequestLog, batches, images) -> None:
+        """Run the backend over every dispatched batch.
 
         The virtual timeline is already fixed, so batches are
-        embarrassingly parallel — they fan out over the fork-based
-        process pool with ordered gather.  Each batch carries its
-        RouteDecision from dispatch, so dynamic backends reuse the
-        routing pass instead of repeating it.  One chunk per worker
-        keeps the backend (model weights) from being re-pickled per
-        batch.
+        embarrassingly parallel — live backends fan out over the
+        fork-based process pool with ordered gather (one chunk per
+        worker keeps the model weights from being re-pickled per batch).
+        Oracle backends answer from their table; pickling a pool would
+        cost more than the lookups, so they stay serial.  Each batch
+        carries its RouteDecision from dispatch, so dynamic backends
+        reuse the routing pass instead of repeating it.
         """
-        chunksize = max(1, math.ceil(len(batches) / self.n_workers))
-        preds_per_batch = parallel_map(
-            functools.partial(_predict_batch, self.backend, images),
-            batches,
-            self.n_workers,
-            chunksize=chunksize,
-        )
+        if self.backend.oracle or self.n_workers == 1:
+            preds_per_batch = [
+                self.backend.predict(images[indices], decision)
+                for indices, decision in batches
+            ]
+        else:
+            chunksize = max(1, math.ceil(len(batches) / self.n_workers))
+            preds_per_batch = parallel_map(
+                functools.partial(_predict_batch, self.backend, images),
+                batches,
+                self.n_workers,
+                chunksize=chunksize,
+            )
+        prediction = log.prediction
         for (indices, _), preds in zip(batches, preds_per_batch):
-            for pos, idx in enumerate(indices):
-                requests[idx].prediction = int(preds[pos])
-        for req in requests:
-            if req.route == Route.CACHED:
-                req.prediction = requests[req.source_id].prediction
+            prediction[indices] = preds
+        log.fill_cached_predictions()
 
     # ------------------------------------------------------------------ #
     # reporting
     # ------------------------------------------------------------------ #
     def _report(
-        self, requests, batches, arrival_s, labels, cache, busy_s, scenario
+        self, log: RequestLog, batches, arrival_s, labels, cache, busy_s, scenario
     ) -> ServingReport:
-        sojourn = np.array([r.sojourn_s for r in requests])
-        makespan = max(r.completion_s for r in requests) - float(arrival_s[0])
+        sojourn = log.sojourn_s
+        makespan = float(log.completion_s.max() - arrival_s[0])
         span = float(arrival_s[-1] - arrival_s[0])
         histogram = dict(sorted(Counter(len(indices) for indices, _ in batches).items()))
         n_batched = sum(k * c for k, c in histogram.items())
         mean_batch = n_batched / len(batches) if batches else 0.0
         accuracy = float("nan")
         if labels is not None:
-            preds = np.array([r.prediction for r in requests])
-            accuracy = float((preds == np.asarray(labels)).mean())
+            accuracy = float((log.prediction == np.asarray(labels)).mean())
         p50, p95, p99 = latency_percentiles(sojourn)
+        n = len(log)
         return ServingReport(
             backend=self.backend.name,
             scenario=scenario,
-            n_requests=len(requests),
+            n_requests=n,
             n_workers=self.n_workers,
             duration_s=makespan,
-            throughput_rps=len(requests) / makespan if makespan > 0 else float("inf"),
-            arrival_rate_hz=(len(requests) - 1) / span if span > 0 else float("inf"),
+            throughput_rps=n / makespan if makespan > 0 else float("inf"),
+            arrival_rate_hz=(n - 1) / span if span > 0 else float("inf"),
             mean_s=float(sojourn.mean()),
             p50_s=p50,
             p95_s=p95,
@@ -348,9 +375,9 @@ class Server:
             utilization=busy_s / (self.n_workers * makespan) if makespan > 0 else 0.0,
             mean_batch_size=mean_batch,
             batch_histogram=histogram,
-            n_easy=sum(r.route == Route.EASY for r in requests),
-            n_hard=sum(r.route == Route.HARD for r in requests),
-            n_cached=sum(r.route == Route.CACHED for r in requests),
+            n_easy=log.route_count(ROUTE_EASY),
+            n_hard=log.route_count(ROUTE_HARD),
+            n_cached=log.route_count(ROUTE_CACHED),
             cache_hit_rate=cache.hit_rate,
             accuracy=accuracy,
         )

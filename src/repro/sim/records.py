@@ -1,0 +1,134 @@
+"""Structure-of-arrays request bookkeeping for the simulation engines.
+
+The serving, cluster, and offload engines replay traces of up to millions
+of requests; keeping one Python object per request (the original
+:class:`~repro.serving.request.Request` list) makes the hot loop pay an
+attribute write per field per request and the report pay a Python loop
+per column.  :class:`RequestLog` stores the same per-request record as
+parallel NumPy arrays instead: the event loop writes batch outcomes with
+one fancy-indexed assignment, and every report column is a vectorized
+reduction.
+
+Route outcomes are stored as small-int codes (:data:`ROUTE_CODES`);
+:meth:`RequestLog.to_requests` materializes the familiar
+:class:`~repro.serving.request.Request` objects for callers that want
+the object view (``serve_detailed``), so the SoA refactor is invisible
+at the public API.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serving.request import Request, Route
+
+__all__ = [
+    "ROUTE_BATCHED",
+    "ROUTE_CACHED",
+    "ROUTE_EASY",
+    "ROUTE_HARD",
+    "ROUTE_SHED",
+    "ROUTE_CODES",
+    "RequestLog",
+]
+
+#: Integer codes for :class:`~repro.serving.request.Route` strings, in
+#: ``Route.ALL`` order.  ``BATCHED`` is 0 so a zero-initialized route
+#: column matches the ``Request`` dataclass default.
+ROUTE_BATCHED, ROUTE_CACHED, ROUTE_EASY, ROUTE_HARD, ROUTE_SHED = range(5)
+ROUTE_CODES: dict[str, int] = {name: code for code, name in enumerate(Route.ALL)}
+_ROUTE_STRS: tuple[str, ...] = Route.ALL
+
+
+class RequestLog:
+    """Per-request outcome arrays for one replayed trace.
+
+    One row per request, columns mirroring
+    :class:`~repro.serving.request.Request`: arrival/completion times,
+    prediction, route code, batch size, cache source, replica, degrade
+    flag, and retry count.  Engines mutate the arrays in place while the
+    virtual clock advances; reports reduce them without leaving NumPy.
+    """
+
+    __slots__ = (
+        "arrival_s",
+        "completion_s",
+        "prediction",
+        "route",
+        "batch_size",
+        "source_id",
+        "replica_id",
+        "degraded",
+        "retries",
+    )
+
+    def __init__(self, arrival_s: np.ndarray) -> None:
+        n = arrival_s.shape[0]
+        self.arrival_s = np.asarray(arrival_s, dtype=np.float64)
+        self.completion_s = np.full(n, np.nan)
+        self.prediction = np.full(n, -1, dtype=np.int64)
+        self.route = np.zeros(n, dtype=np.int8)  # ROUTE_BATCHED
+        self.batch_size = np.zeros(n, dtype=np.int32)
+        self.source_id = np.full(n, -1, dtype=np.int64)
+        self.replica_id = np.full(n, -1, dtype=np.int32)
+        self.degraded = np.zeros(n, dtype=bool)
+        self.retries = np.zeros(n, dtype=np.int32)
+
+    def __len__(self) -> int:
+        return self.arrival_s.shape[0]
+
+    @property
+    def sojourn_s(self) -> np.ndarray:
+        """Per-request time in system (NaN where never completed)."""
+        return self.completion_s - self.arrival_s
+
+    @property
+    def done(self) -> np.ndarray:
+        """Boolean mask of requests that completed."""
+        return np.isfinite(self.completion_s)
+
+    def route_count(self, code: int) -> int:
+        """How many requests ended with the given route code."""
+        return int((self.route == code).sum())
+
+    def fill_cached_predictions(self) -> None:
+        """Copy each cache hit's prediction from its source request.
+
+        Sources are always dispatched (non-cached) requests, so one
+        vectorized gather resolves every hit.
+        """
+        cached = np.flatnonzero(self.route == ROUTE_CACHED)
+        if cached.size:
+            self.prediction[cached] = self.prediction[self.source_id[cached]]
+
+    def to_requests(self) -> list[Request]:
+        """Materialize the object view (one ``Request`` per row)."""
+        routes = self.route.tolist()
+        out = []
+        for i, (arr, comp, pred, batch, src, rep, deg, ret) in enumerate(
+            zip(
+                self.arrival_s.tolist(),
+                self.completion_s.tolist(),
+                self.prediction.tolist(),
+                self.batch_size.tolist(),
+                self.source_id.tolist(),
+                self.replica_id.tolist(),
+                self.degraded.tolist(),
+                self.retries.tolist(),
+            )
+        ):
+            out.append(
+                Request(
+                    req_id=i,
+                    arrival_s=arr,
+                    completion_s=comp,
+                    prediction=pred,
+                    route=_ROUTE_STRS[routes[i]],
+                    batch_size=batch,
+                    source_id=src,
+                    replica_id=rep,
+                    degraded=deg,
+                    retries=ret,
+                )
+            )
+        return out

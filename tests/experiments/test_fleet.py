@@ -107,6 +107,34 @@ def test_unknown_scenario_rejected():
         run_fleet_comparison(scenarios=("steady", "lunar"))
 
 
+def test_jobs_grid_matches_serial():
+    """`--jobs` parallelism is a pure speedup: per-cell seeds make the
+    process-pool grid bit-identical to the serial one."""
+    rng = np.random.default_rng(3)
+    images = rng.random((200, 1, 4, 4)).astype(np.float32)
+    labels = (images.reshape(200, -1).sum(axis=1)).astype(np.int64) % 10
+
+    def spec():
+        return FleetSpec(
+            backends=(ToyBackend(0.002), ToyBackend(0.0005)),
+            spawn_backend=lambda: ToyBackend(0.0005),
+        )
+
+    kwargs = dict(
+        fast=True,
+        seed=0,
+        n_requests=400,
+        scenarios=("steady", "flash-crowd"),
+        images=images,
+        labels=labels,
+    )
+    serial = run_fleet_comparison(fleet=spec(), jobs=1, **kwargs)
+    parallel = run_fleet_comparison(fleet=spec(), jobs=2, **kwargs)
+    for scenario in kwargs["scenarios"]:
+        for a, b in zip(serial.policy_reports[scenario], parallel.policy_reports[scenario]):
+            assert a == b
+
+
 def test_cli_rejects_mismatched_scenario():
     from repro.experiments.cli import main
 

@@ -6,6 +6,8 @@ import pytest
 from repro.serving.arrivals import (
     bursty_arrivals,
     constant_arrivals,
+    diurnal_arrivals,
+    flash_crowd_arrivals,
     poisson_arrivals,
     trace_arrivals,
     zipf_popularity,
@@ -57,6 +59,78 @@ class TestBurstyArrivals:
             bursty_arrivals(0.0, 50.0, 10)
         with pytest.raises(ValueError):
             bursty_arrivals(10.0, 50.0, 10, mean_phase_s=0.0)
+
+
+class TestDiurnalArrivals:
+    def test_mean_rate_matches(self):
+        times = diurnal_arrivals(100.0, 50_000, period_s=20.0, depth=0.75, rng=1)
+        assert np.all(np.diff(times) >= 0)
+        assert 50_000 / times[-1] == pytest.approx(100.0, rel=0.03)
+
+    def test_peak_vs_trough_rates(self):
+        """Arrivals cluster around the sinusoid's peaks, thin out in troughs."""
+        period = 10.0
+        times = diurnal_arrivals(200.0, 40_000, period_s=period, depth=0.8, rng=2)
+        phase = (times % period) / period
+        peak = ((phase > 0.15) & (phase < 0.35)).sum()  # sin ≈ +1
+        trough = ((phase > 0.65) & (phase < 0.85)).sum()  # sin ≈ -1
+        assert peak > 4 * trough
+
+    def test_pinned_trace(self):
+        """Seed-for-seed regression: the vectorized thinning sampler is
+        deterministic (fixed chunk schedule), so this exact trace is the
+        generator's contract."""
+        times = diurnal_arrivals(120.0, 6, period_s=4.0, depth=0.6, rng=7)
+        np.testing.assert_allclose(
+            times,
+            [0.00902465, 0.01198584, 0.01664787, 0.01772356, 0.03539747, 0.05002881],
+            atol=1e-8,
+        )
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            diurnal_arrivals(0.0, 10, period_s=1.0)
+        with pytest.raises(ValueError):
+            diurnal_arrivals(10.0, 0, period_s=1.0)
+        with pytest.raises(ValueError):
+            diurnal_arrivals(10.0, 10, period_s=0.0)
+        with pytest.raises(ValueError):
+            diurnal_arrivals(10.0, 10, period_s=1.0, depth=1.0)
+
+
+class TestFlashCrowdArrivals:
+    def test_spike_rate(self):
+        times = flash_crowd_arrivals(
+            50.0, 500.0, 20_000, spike_start_s=10.0, spike_duration_s=5.0, rng=2
+        )
+        assert np.all(np.diff(times) >= 0)
+        in_spike = ((times >= 10.0) & (times < 15.0)).sum()
+        assert in_spike / 5.0 == pytest.approx(500.0, rel=0.1)
+        before = (times < 10.0).sum()
+        assert before / 10.0 == pytest.approx(50.0, rel=0.15)
+
+    def test_pinned_trace(self):
+        """Seed-for-seed regression for the vectorized step-rate sampler."""
+        times = flash_crowd_arrivals(
+            40.0, 400.0, 6, spike_start_s=0.05, spike_duration_s=0.1, rng=7
+        )
+        np.testing.assert_allclose(
+            times,
+            [0.00850731, 0.03853618, 0.05131735, 0.051505, 0.05165512, 0.05471403],
+            atol=1e-8,
+        )
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            flash_crowd_arrivals(0.0, 10.0, 10, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            flash_crowd_arrivals(10.0, 5.0, 10, 1.0, 1.0)  # peak < base
+        with pytest.raises(ValueError):
+            flash_crowd_arrivals(10.0, 50.0, 0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            flash_crowd_arrivals(10.0, 50.0, 10, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            flash_crowd_arrivals(10.0, 50.0, 10, 1.0, 0.0)
 
 
 class TestTraceArrivals:

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.hw",
     "repro.parallel",
     "repro.serving",
+    "repro.sim",
     "repro.cluster",
     "repro.offload",
     "repro.eval",

@@ -39,13 +39,15 @@ REPO = Path(__file__).resolve().parents[1]
 #: Suites whose medians form the recorded baseline: the substrate hot
 #: kernels (conv/GEMM/pooling + fastpath inference), the serving engine
 #: (throughput / tail latency of the batched server), the fleet cluster
-#: (end-to-end policy grid + autoscaler + failure studies), and the
-#: offload layer (split sweep + policy grid + codec study).
+#: (end-to-end policy grid + autoscaler + failure studies), the offload
+#: layer (split sweep + policy grid + codec study), and the
+#: million-request scale bench over the oracle simulation core.
 DEFAULT_SUITES = (
     "benchmarks/test_substrate_kernels.py",
     "benchmarks/test_serving_engine.py",
     "benchmarks/test_fleet_cluster.py",
     "benchmarks/test_offload_split.py",
+    "benchmarks/test_million_requests.py",
 )
 
 _BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")

@@ -37,6 +37,7 @@ REQUIRED_DOCS = (
     "docs/performance.md",
     "docs/cluster.md",
     "docs/offload.md",
+    "docs/sim.md",
 )
 
 
