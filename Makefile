@@ -7,6 +7,8 @@
 #                     planner, policies, EdgeTier on toy models
 #   make sim-smoke    simulation-core smoke: oracle live-vs-table parity,
 #                     SoA records, vectorized arrival regressions
+#   make tenants-smoke  multi-tenant smoke: scheduler invariants, priority
+#                     batcher, FIFO-vs-priority experiment on toy fleets
 #   make bench-smoke  fast benchmark subset, incl. the serving engine
 #   make bench        full benchmark suite (regenerates benchmarks/results/)
 #   make bench-record record BENCH_<n>.json medians (substrate + serving)
@@ -19,7 +21,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test fleet-smoke offload-smoke sim-smoke bench-smoke bench bench-record bench-check docs-check docs-run lint
+.PHONY: test fleet-smoke offload-smoke sim-smoke tenants-smoke bench-smoke bench bench-record bench-check docs-check docs-run lint
 
 test:
 	$(PYTHON) -m pytest tests -x -q
@@ -34,6 +36,10 @@ offload-smoke:
 
 sim-smoke:
 	$(PYTHON) -m pytest tests/sim tests/serving/test_arrivals.py -q
+
+tenants-smoke:
+	$(PYTHON) -m pytest tests/scheduling tests/serving/test_priority_batcher.py \
+	    tests/experiments/test_tenants.py -q
 
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/test_table1_architecture.py \

@@ -13,10 +13,12 @@ column is meaningful at this scale too.
 
 import numpy as np
 
+from repro.cluster.admission import WeightedFairAdmission
 from repro.cluster.engine import Cluster
 from repro.hw.devices import gci_cpu
-from repro.serving.arrivals import poisson_arrivals, zipf_popularity
+from repro.serving.arrivals import class_mix, poisson_arrivals, zipf_popularity
 from repro.serving.backends import CBNetBackend
+from repro.serving.classes import default_classes
 from repro.sim import oracle_backend
 
 from conftest import emit
@@ -65,3 +67,71 @@ def test_million_request_cluster_trace(benchmark, results_dir, mnist_artifacts):
     assert report.n_cached > 0  # the hot Zipf head hits the cluster cache
     assert report.accuracy > 0.9  # real (table) predictions, end to end
     assert np.isfinite(report.p99_s)
+
+
+def test_million_request_multitenant_trace(benchmark, results_dir, mnist_artifacts):
+    """The multi-tenant stack at the same scale: a mixed-class 1M-request
+    trace at 1.2x capacity through priority batching and weighted-fair
+    admission, with the per-class invariants asserted on the result."""
+    test = mnist_artifacts.datasets["test"]
+    base = CBNetBackend(mnist_artifacts.cbnet, gci_cpu())
+    backends = [oracle_backend(base, test.images) for _ in range(N_REPLICAS)]
+
+    max_batch = 32
+    max_wait_s = 0.002
+    unit_service = backends[0].mean_service_s(batch_size=max_batch)
+    capacity_hz = N_REPLICAS / unit_service
+    classes = default_classes(
+        slo_s=3.0 * (unit_service * max_batch + max_wait_s), max_wait_s=max_wait_s
+    )
+    rng = np.random.default_rng(1)
+    ids = zipf_popularity(len(test.images), N_REQUESTS, exponent=0.9, rng=rng)
+    arrival_s = poisson_arrivals(1.2 * capacity_hz, N_REQUESTS, rng=rng)
+    codes = class_mix(N_REQUESTS, np.array([0.5, 0.3, 0.2]), rng)
+    labels = test.labels[ids]
+
+    def run():
+        cluster = Cluster(
+            list(backends),
+            policy="least-outstanding",
+            admission=WeightedFairAdmission(
+                classes, max_outstanding=8 * max_batch * N_REPLICAS
+            ),
+            slo_s=classes[0].deadline_s,
+            classes=classes,
+            scheduler="priority",
+            max_batch_size=max_batch,
+            max_wait_s=max_wait_s,
+            cache_capacity=0,
+            rng=0,
+        )
+        return cluster.serve(
+            ids, arrival_s, labels=labels, scenario="million-tenants",
+            request_classes=codes,
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    inter, standard, batch = report.class_reports
+    emit(
+        results_dir,
+        "million_tenants",
+        f"{report.summary()}\n"
+        + "\n".join(
+            f"{r.name}: {r.n_requests:,} requests | served {r.n_served:,} | "
+            f"shed {r.shed_rate:.1%} | p99 {r.p99_s * 1e3:.2f} ms | "
+            f"SLO {r.slo_attainment:.1%}"
+            for r in report.class_reports
+        ),
+    )
+
+    assert report.n_requests == N_REQUESTS
+    assert sum(r.n_requests for r in report.class_reports) == N_REQUESTS
+    for r in report.class_reports:
+        assert r.n_served + r.n_shed + r.n_unserved == r.n_requests
+        assert r.n_unserved == 0  # everything admitted was dispatched
+        assert r.accuracy > 0.9
+    # Priority scheduling holds the interactive tail under overload while
+    # the weighted-fair reserve keeps batch flowing.
+    assert inter.slo_attainment > 0.95
+    assert inter.p99_s < batch.p99_s
+    assert batch.n_served > 0

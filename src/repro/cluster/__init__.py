@@ -23,7 +23,13 @@ Quick tour::
     print(report.summary())
 """
 
-from repro.cluster.admission import ACCEPT, DEGRADE, REJECT, AdmissionController
+from repro.cluster.admission import (
+    ACCEPT,
+    DEGRADE,
+    REJECT,
+    AdmissionController,
+    WeightedFairAdmission,
+)
 from repro.cluster.autoscaler import Autoscaler, AutoscalerConfig, measured_warmup_s
 from repro.cluster.engine import Cluster, ClusterReport, fleet_comparison_table
 from repro.cluster.failures import (
@@ -59,6 +65,7 @@ __all__ = [
     "POLICY_NAMES",
     "make_policy",
     "AdmissionController",
+    "WeightedFairAdmission",
     "ACCEPT",
     "REJECT",
     "DEGRADE",

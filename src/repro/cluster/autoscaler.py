@@ -56,6 +56,11 @@ class AutoscalerConfig:
         (see :func:`measured_warmup_s`).
     cooldown_s:
         Minimum spacing between consecutive scaling actions.
+    signal_class:
+        Multi-tenant fleets only: name of the request class whose
+        recent p95 drives the latency signal (e.g. ``"interactive"``),
+        scored against that class's own deadline instead of ``slo_s``.
+        ``None`` keeps the class-blind fleet-wide signal.
     """
 
     slo_s: float
@@ -67,6 +72,7 @@ class AutoscalerConfig:
     max_replicas: int = 8
     warmup_s: float = 0.25
     cooldown_s: float = 0.5
+    signal_class: str | None = None
 
     def __post_init__(self) -> None:
         if self.slo_s <= 0:
@@ -122,12 +128,19 @@ class Autoscaler:
         # crashes) — stranded work must register as pressure, or an
         # outage could look idle.
         queue_per = cluster.outstanding_total(now) / n_live
-        p95 = cluster.recent_p95(now, cfg.window_s)
+        slo_s = cfg.slo_s
+        cls = None
+        if cfg.signal_class is not None and cluster.classes is not None:
+            # Per-class signal: watch one tenant class's tail against
+            # its own deadline (the fleet scales for its tightest SLO).
+            cls = cluster.classes.code(cfg.signal_class)
+            slo_s = cluster.classes[cls].deadline_s
+        p95 = cluster.recent_p95(now, cfg.window_s, cls=cls)
         if now - self.last_action_s < cfg.cooldown_s:
             return None
 
         overloaded = queue_per > cfg.scale_up_queue or (
-            p95 is not None and p95 > cfg.slo_s
+            p95 is not None and p95 > slo_s
         )
         if overloaded and n_live < cfg.max_replicas:
             cluster.spawn_replica(self.spawn_backend(), now, cfg.warmup_s)
@@ -136,7 +149,7 @@ class Autoscaler:
             return "up"
 
         relaxed = queue_per < cfg.scale_down_queue and (
-            p95 is None or p95 < 0.5 * cfg.slo_s
+            p95 is None or p95 < 0.5 * slo_s
         )
         if relaxed and n_live > cfg.min_replicas:
             # Never drain the last UP replica: WARMING/DRAINING peers

@@ -47,6 +47,12 @@ from repro.eval.metrics import latency_percentiles
 from repro.eval.tables import Table
 from repro.serving.backends import InferenceBackend
 from repro.serving.cache import LRUResultCache
+from repro.serving.classes import (
+    DEFAULT_CLASSES,
+    ClassReport,
+    ClassSet,
+    per_class_reports,
+)
 from repro.serving.request import Request
 from repro.serving.router import RouteDecision
 from repro.sim.core import request_keys, validate_trace
@@ -104,6 +110,8 @@ class ClusterReport:
     scale_ups: int
     scale_downs: int
     accuracy: float = float("nan")
+    #: Per-request-class slices (empty for single-class runs).
+    class_reports: tuple[ClassReport, ...] = ()
 
     def summary(self) -> str:
         """One-line fleet digest (the cluster sibling of ServingReport.summary)."""
@@ -176,6 +184,13 @@ class _Books:
     track_completions: bool = False
     stranded: list[int] = field(default_factory=list)
     visibility: list[tuple[float, int, object]] = field(default_factory=list)
+    # Per-class outstanding bookkeeping for weighted-fair admission:
+    # counts are settled lazily from a (completion_s, idx) heap, with a
+    # per-request counted flag so a crash-cancelled completion whose
+    # retry lands on the same timestamp cannot double-decrement.
+    class_outstanding: np.ndarray | None = None
+    class_events: list[tuple[float, int]] = field(default_factory=list)
+    class_counted: np.ndarray | None = None
 
 
 class Cluster:
@@ -211,6 +226,15 @@ class Cluster:
         (freshly spawned replicas pay the autoscaler's configured cost).
     rng:
         Seed/generator for randomized policies (power-of-two-choices).
+    classes:
+        Optional :class:`~repro.serving.classes.ClassSet` enabling
+        multi-tenant mode: every replica runs a worker-gated priority
+        batcher, ``serve*`` requires per-request class codes, and the
+        report carries per-class slices.
+    scheduler:
+        Multi-tenant flush discipline per replica: ``"priority"`` or
+        ``"fifo"`` (the class-blind control arm).  Ignored without
+        ``classes``.
     """
 
     def __init__(
@@ -227,6 +251,8 @@ class Cluster:
         cache_lookup_s: float = 2e-5,
         recover_warmup_s: float = 0.0,
         rng: np.random.Generator | int | None = 0,
+        classes: ClassSet | None = None,
+        scheduler: str = "priority",
     ) -> None:
         if not backends:
             raise ValueError("a cluster needs at least one replica backend")
@@ -245,6 +271,17 @@ class Cluster:
                     f"failure event targets replica {event.replica_id}, "
                     f"but the initial fleet has only {len(backends)} replicas"
                 )
+        if scheduler not in ("priority", "fifo"):
+            raise ValueError(f"unknown scheduler {scheduler!r}")
+        if (
+            classes is None
+            and admission is not None
+            and getattr(admission, "classes", None) is not None
+        ):
+            raise ValueError(
+                "WeightedFairAdmission requires Cluster(classes=...) so the "
+                "fleet and the admission controller grade the same classes"
+            )
         self.policy = make_policy(policy) if isinstance(policy, str) else policy
         self.admission = admission
         self.autoscaler = autoscaler
@@ -256,8 +293,11 @@ class Cluster:
         self.cache_lookup_s = float(cache_lookup_s)
         self.recover_warmup_s = float(recover_warmup_s)
         self.rng = as_generator(rng)
+        self.classes = classes
+        self.scheduler = scheduler
         self.replicas = [
-            Replica(i, b, max_batch_size, max_wait_s) for i, b in enumerate(backends)
+            Replica(i, b, max_batch_size, max_wait_s, classes=classes, scheduler=scheduler)
+            for i, b in enumerate(backends)
         ]
         self.n_replicas_start = len(self.replicas)
         self.peak_replicas = len(self.replicas)
@@ -283,7 +323,9 @@ class Cluster:
         stranded = len(books.stranded) if books else 0
         return stranded + sum(r.outstanding(now) for r in self.replicas)
 
-    def recent_p95(self, now: float, window_s: float) -> float | None:
+    def recent_p95(
+        self, now: float, window_s: float, cls: int | None = None
+    ) -> float | None:
         """p95 sojourn of completions in ``(now - window_s, now]``.
 
         This is the autoscaler's latency signal: the per-completion
@@ -292,17 +334,22 @@ class Cluster:
         reads), so without one this returns ``None`` — as it does when
         the window is genuinely empty.  Completions cancelled by a
         later crash are skipped (the request's final record no longer
-        matches the one logged at dispatch).
+        matches the one logged at dispatch).  ``cls`` restricts the
+        window to one request class — the autoscaler's per-class signal
+        (:attr:`~repro.cluster.autoscaler.AutoscalerConfig.signal_class`).
         """
         books = self._books
         if books is None:
             return None
         arrival = books.log.arrival_s
         final = books.log.completion_s
+        req_class = books.log.req_class
         sojourn = [
             t - arrival[idx]
             for t, idx in books.completions
-            if now - window_s < t <= now and final[idx] == t
+            if now - window_s < t <= now
+            and final[idx] == t
+            and (cls is None or req_class[idx] == cls)
         ]
         if not sojourn:
             return None
@@ -328,6 +375,8 @@ class Cluster:
             self.max_batch_size,
             self.max_wait_s,
             state=ReplicaState.DOWN,
+            classes=self.classes,
+            scheduler=self.scheduler,
         )
         self.replicas.append(replica)
         replica.provision(now)
@@ -348,16 +397,18 @@ class Cluster:
         arrival_s: np.ndarray,
         labels: np.ndarray | None = None,
         scenario: str = "trace",
+        request_classes: np.ndarray | None = None,
     ) -> ClusterReport:
         """Replay one arrival trace across the fleet and report.
 
         Mirrors :meth:`repro.serving.Server.serve`: ``images[i]`` arrives
         at ``arrival_s[i]`` (non-decreasing), ``labels`` adds genuine
-        served accuracy.  The report additionally carries fleet-only
-        columns — shed rate, SLO attainment, replica-seconds,
+        served accuracy, ``request_classes`` (multi-tenant mode) gives
+        each request its class code.  The report additionally carries
+        fleet-only columns — shed rate, SLO attainment, replica-seconds,
         availability, retries.
         """
-        report, _ = self.serve_log(images, arrival_s, labels, scenario)
+        report, _ = self.serve_log(images, arrival_s, labels, scenario, request_classes)
         return report
 
     def serve_detailed(
@@ -366,6 +417,7 @@ class Cluster:
         arrival_s: np.ndarray,
         labels: np.ndarray | None = None,
         scenario: str = "trace",
+        request_classes: np.ndarray | None = None,
     ) -> tuple[ClusterReport, list[Request]]:
         """:meth:`serve`, additionally returning per-request records.
 
@@ -375,7 +427,7 @@ class Cluster:
         fleet answered it.  Prefer :meth:`serve_log` when the array view
         suffices.
         """
-        report, log = self.serve_log(images, arrival_s, labels, scenario)
+        report, log = self.serve_log(images, arrival_s, labels, scenario, request_classes)
         return report, log.to_requests()
 
     def serve_log(
@@ -384,6 +436,7 @@ class Cluster:
         arrival_s: np.ndarray,
         labels: np.ndarray | None = None,
         scenario: str = "trace",
+        request_classes: np.ndarray | None = None,
     ) -> tuple[ClusterReport, RequestLog]:
         """:meth:`serve`, additionally returning the SoA request log."""
         if self._served:
@@ -393,6 +446,24 @@ class Cluster:
             )
         self._served = True
         images, arrival_s = validate_trace(images, arrival_s)
+        if self.classes is not None and request_classes is None:
+            raise ValueError(
+                "Cluster(classes=...) requires request_classes in serve*()"
+            )
+        if request_classes is not None and self.classes is None:
+            # Convenience: codes without an explicit ClassSet use the
+            # default interactive/standard/batch mix — replicas must be
+            # rebuilt so their batchers are class-aware.
+            self.classes = DEFAULT_CLASSES
+            for r in self.replicas:
+                r.classes = self.classes
+                r.scheduler = self.scheduler
+                r.__post_init__()
+        codes = (
+            self.classes.validate_codes(request_classes, arrival_s.shape[0])
+            if request_classes is not None
+            else None
+        )
         oracle = self.replicas[0].backend.oracle
 
         for replica in self.replicas:
@@ -415,6 +486,13 @@ class Cluster:
             cache=LRUResultCache(self.cache_capacity),
             track_completions=self.autoscaler is not None,
         )
+        if codes is not None:
+            books.log.req_class[:] = codes
+            if self.admission is not None:
+                # Per-class outstanding counters feed weighted-fair
+                # admission; settled lazily at each admission decision.
+                books.class_outstanding = np.zeros(len(self.classes), dtype=np.int64)
+                books.class_counted = np.zeros(len(books.log), dtype=bool)
         self._books = books
         self._heap = []
         self._seq = 0
@@ -493,6 +571,25 @@ class Cluster:
     # ------------------------------------------------------------------ #
     # event handlers
     # ------------------------------------------------------------------ #
+    def _settle_class_events(self, now: float) -> None:
+        """Fold completions up to ``now`` into the per-class counters.
+
+        A heap entry only counts if the request's *final* completion
+        still matches the entry (a crash since dispatch reset it) and it
+        has not been counted before (a retry that happens to land on the
+        cancelled batch's exact timestamp must not double-decrement).
+        """
+        books = self._books
+        events = books.class_events
+        completion = books.log.completion_s
+        req_class = books.log.req_class
+        counted = books.class_counted
+        while events and events[0][0] <= now:
+            t, idx = heapq.heappop(events)
+            if completion[idx] == t and not counted[idx]:
+                books.class_outstanding[req_class[idx]] -= 1
+                counted[idx] = True
+
     def _handle_arrival(self, i: int, now: float) -> None:
         books = self._books
         log = books.log
@@ -506,21 +603,31 @@ class Cluster:
             hit = books.cache.get(books.keys[i])
             if hit is not None:
                 log.route[i] = ROUTE_CACHED
+                log.requested_route[i] = ROUTE_CACHED
                 log.source_id[i] = int(hit)
+                log.dispatch_s[i] = now  # answered on arrival — never queued
                 done = now + self.cache_lookup_s
                 completion[i] = done
                 if books.track_completions:
                     books.completions.append((done, i))
                 return
         if self.admission is not None:
-            verdict = self.admission.decide(self.outstanding_total(now))
+            cls = int(log.req_class[i])
+            if books.class_outstanding is not None:
+                self._settle_class_events(now)
+            verdict = self.admission.decide_for(
+                self.outstanding_total(now), cls, books.class_outstanding
+            )
             if verdict == REJECT:
                 log.route[i] = ROUTE_SHED
+                log.requested_route[i] = ROUTE_SHED
                 return
             if verdict == DEGRADE:
                 log.degraded[i] = True
             else:
                 assert verdict == ACCEPT
+            if books.class_outstanding is not None:
+                books.class_outstanding[cls] += 1
         self._route(i, now)
 
     def _handle_up(self, payload: tuple[int, int], now: float) -> None:
@@ -542,7 +649,9 @@ class Cluster:
         log = self._books.log
         for idx in replica.crash(now):
             log.completion_s[idx] = float("nan")
+            log.dispatch_s[idx] = float("nan")
             log.route[idx] = ROUTE_BATCHED
+            log.requested_route[idx] = ROUTE_BATCHED
             log.batch_size[idx] = 0
             log.replica_id[idx] = -1
             log.retries[idx] += 1
@@ -584,8 +693,8 @@ class Cluster:
             self._books.stranded.append(i)
             return
         replica = self.policy.choose(ups, now, self.rng)
-        replica.batcher.add(i, now)
-        if replica.batcher.should_flush(now):
+        replica.batcher.add(i, now, int(self._books.log.req_class[i]))
+        if replica.should_dispatch(now):
             self._dispatch(replica, replica.batcher.flush(), now)
 
     def _dispatch(self, replica: Replica, indices: list[int], flush_s: float) -> None:
@@ -594,6 +703,13 @@ class Cluster:
         # One list→array conversion reused by every fancy-index op.
         idx = np.asarray(indices, dtype=np.intp)
         decision = replica.backend.route(books.images[idx])
+        if decision is not None:
+            # The entropy gate's own verdict, recorded before any
+            # admission degrade overrides it — per-class accuracy deltas
+            # need the requested path, not just the served one.
+            log.requested_route[idx] = np.where(decision.easy, ROUTE_EASY, ROUTE_HARD)
+        else:
+            log.requested_route[idx] = ROUTE_BATCHED
         if decision is not None and self.admission is not None:
             degraded = log.degraded
             forced = [pos for pos, i in enumerate(indices) if degraded[i]]
@@ -615,6 +731,7 @@ class Cluster:
         )
         replica.commit(batch)
         log.completion_s[idx] = completion
+        log.dispatch_s[idx] = start
         log.batch_size[idx] = len(indices)
         log.replica_id[idx] = replica.replica_id
         if decision is not None:
@@ -624,6 +741,10 @@ class Cluster:
         if books.track_completions:
             for i in indices:
                 books.completions.append((completion, i))
+        if books.class_outstanding is not None:
+            for i in indices:
+                books.class_counted[i] = False
+                heapq.heappush(books.class_events, (completion, i))
         if books.keys is not None:
             # Ties break on the request index so insertion order is
             # identical whatever the key type (pixel hash or sample id).
@@ -714,4 +835,9 @@ class Cluster:
             scale_ups=self.autoscaler.n_scale_ups if self.autoscaler else 0,
             scale_downs=self.autoscaler.n_scale_downs if self.autoscaler else 0,
             accuracy=accuracy,
+            class_reports=(
+                per_class_reports(log, self.classes, labels)
+                if self.classes is not None
+                else ()
+            ),
         )

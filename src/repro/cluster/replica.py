@@ -28,6 +28,8 @@ from dataclasses import dataclass, field
 
 from repro.serving.backends import InferenceBackend
 from repro.serving.batcher import MicroBatcher
+from repro.serving.classes import ClassSet
+from repro.serving.priority import PriorityBatcher
 from repro.serving.router import RouteDecision
 
 __all__ = ["ReplicaState", "InFlightBatch", "Replica"]
@@ -75,6 +77,12 @@ class Replica:
     max_batch_size, max_wait_s:
         This replica's micro-batcher triggers (replicas may differ —
         e.g. a GPU replica batching wider than a Pi).
+    classes, scheduler:
+        Multi-tenant mode: a :class:`~repro.serving.classes.ClassSet`
+        swaps the FIFO micro-batcher for per-class queues
+        (:class:`~repro.serving.priority.PriorityBatcher`, ordered by
+        ``scheduler``) and gates flushes on the worker being free, so
+        the local queue genuinely reorders under backlog.
     """
 
     replica_id: int
@@ -82,7 +90,9 @@ class Replica:
     max_batch_size: int = 16
     max_wait_s: float = 0.004
     state: str = ReplicaState.UP
-    batcher: MicroBatcher = field(init=False, repr=False)
+    classes: ClassSet | None = None
+    scheduler: str = "priority"
+    batcher: MicroBatcher | PriorityBatcher = field(init=False, repr=False)
     in_flight: list[InFlightBatch] = field(init=False, repr=False)
     worker_free_s: float = 0.0
     busy_s: float = 0.0
@@ -98,7 +108,15 @@ class Replica:
     generation: int = 0
 
     def __post_init__(self) -> None:
-        self.batcher = MicroBatcher(self.max_batch_size, self.max_wait_s)
+        if self.classes is not None:
+            self.batcher = PriorityBatcher(
+                self.classes,
+                self.max_batch_size,
+                self.max_wait_s,
+                ordering=self.scheduler,
+            )
+        else:
+            self.batcher = MicroBatcher(self.max_batch_size, self.max_wait_s)
         self.in_flight = []
         if self.state == ReplicaState.DOWN:
             self.up_since_s = None
@@ -196,7 +214,7 @@ class Replica:
         The caller must :meth:`purge` the cluster clock up to ``now``
         first, so every batch still in flight here is cancelled work.
         """
-        lost = list(self.batcher.flush()) if self.batcher else []
+        lost = list(self.batcher.drain()) if self.batcher else []
         for batch in self.in_flight:
             lost.extend(batch.indices)
             # Roll back the commit-time billing for the part of the
@@ -223,7 +241,28 @@ class Replica:
             self.up_since_s = None
 
     def next_deadline_s(self) -> float:
-        """Virtual time of this replica's pending deadline flush (inf if none)."""
+        """Virtual time of this replica's next pending flush (inf if none).
+
+        Single-class replicas flush on the micro-batcher deadline alone
+        (the size trigger is handled at add time).  Multi-tenant
+        replicas additionally gate on the worker being free: the queue
+        is held in the priority batcher — where scheduling order
+        matters — instead of racing ahead into the worker's FIFO, so
+        the next flush is ``worker_free_s`` once a full batch is
+        pending, else ``max(deadline, worker_free_s)``.
+        """
         if self.state not in (ReplicaState.UP, ReplicaState.DRAINING):
             return math.inf
-        return self.batcher.deadline_s
+        if self.classes is None:
+            return self.batcher.deadline_s
+        if not self.batcher:
+            return math.inf
+        if len(self.batcher) >= self.batcher.max_batch_size:
+            return self.worker_free_s
+        return max(self.batcher.deadline_s, self.worker_free_s)
+
+    def should_dispatch(self, now: float) -> bool:
+        """Whether a flush is due at ``now`` (used at add time)."""
+        if self.classes is None:
+            return self.batcher.should_flush(now)
+        return self.next_deadline_s() <= now

@@ -25,6 +25,7 @@ DEFAULT_SECTIONS: tuple[tuple[str, str], ...] = (
     ("serving_tails", "Extension — tail latency under load"),
     ("serving_engine", "Extension — batched serving engine (repro.serving)"),
     ("fleet_cluster", "Extension — fleet-scale cluster serving (repro.cluster)"),
+    ("tenants", "Extension — multi-tenant SLO classes, FIFO vs priority"),
     ("offload_split", "Extension — edge–cloud offloading (repro.offload)"),
 )
 

@@ -9,6 +9,7 @@ Examples
     cbnet-experiment scalability --dataset fmnist
     cbnet-experiment serve --fast --scenario bursty
     cbnet-experiment fleet --fast
+    cbnet-experiment tenants --fast
     cbnet-experiment offload --fast --link lte
     cbnet-experiment all --fast
 """
@@ -33,6 +34,7 @@ from repro.experiments.scalability import run_scalability
 from repro.experiments.serve import SCENARIOS, run_serving_comparison
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
+from repro.experiments.tenants import run_tenants_comparison
 
 __all__ = ["main"]
 
@@ -54,6 +56,7 @@ def main(argv: list[str] | None = None) -> int:
             "ablations",
             "serve",
             "fleet",
+            "tenants",
             "offload",
             "report",
             "all",
@@ -150,6 +153,15 @@ def main(argv: list[str] | None = None) -> int:
                 scenarios=scenarios,
                 live=args.live,
                 jobs=args.jobs,
+            ).render()
+        )
+    if args.experiment in ("tenants", "all"):
+        emit(
+            run_tenants_comparison(
+                fast=args.fast,
+                seed=args.seed,
+                dataset=args.dataset or "mnist",
+                live=args.live,
             ).render()
         )
     if args.experiment in ("offload", "all"):

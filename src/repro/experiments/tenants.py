@@ -1,0 +1,212 @@
+"""Multi-tenant experiment: FIFO vs priority scheduling under overload.
+
+The cluster layer's tenancy claim, made measurable: three SLO classes
+(``interactive``/``standard``/``batch``) share one fleet through a
+diurnal day/night cycle whose peak exceeds fleet capacity, with the
+class mix itself diurnal (interactive-heavy at peak, batch-heavy at
+trough — exactly when batch work *should* run).  Two arms replay the
+identical trace:
+
+* **fifo** — class-blind control: global arrival-order batching and a
+  plain reject-at-cap admission controller.  Overload sheds whoever is
+  unlucky and interactive requests wait behind batch work.
+* **priority** — the multi-tenant stack: priority-aware micro-batching
+  (interactive preempts a forming batch via its tight wait cap) and
+  :class:`~repro.cluster.admission.WeightedFairAdmission` (overload
+  sheds batch before standard before interactive, with per-class
+  reserves so batch is throttled, not starved).
+
+The per-class tables make the trade readable: priority should win
+interactive p99 SLO attainment outright while batch keeps flowing at
+its reserve rate.  Like every serving experiment here the arms run in
+oracle mode by default (``live=True`` restores in-loop inference and
+must produce field-for-field identical metrics — the scheduling test
+harness in ``tests/scheduling`` holds it to that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.admission import REJECT, AdmissionController, WeightedFairAdmission
+from repro.cluster.engine import Cluster, ClusterReport, fleet_comparison_table
+from repro.experiments.common import pipeline_for, scale_for
+from repro.experiments.fleet import FleetSpec, _oracle_fleet
+from repro.hw.devices import device_profiles
+from repro.serving.arrivals import diurnal_arrivals, diurnal_class_mix, zipf_popularity
+from repro.serving.backends import CBNetBackend
+from repro.serving.classes import ClassSet, class_table, default_classes
+from repro.utils.rng import as_generator, derive_seed
+
+__all__ = ["TENANT_ARMS", "TenantsComparison", "run_tenants_comparison"]
+
+TENANT_ARMS = ("fifo", "priority")
+
+# Class-mix endpoints of the diurnal cycle: daytime peak is dominated by
+# interactive traffic, the overnight trough by batch backfill.
+PEAK_SHARES = (0.60, 0.25, 0.15)
+TROUGH_SHARES = (0.15, 0.25, 0.60)
+
+
+@dataclass
+class TenantsComparison:
+    """Both scheduling arms plus the context that sized the load."""
+
+    dataset: str
+    n_requests: int
+    capacity_hz: float
+    classes: ClassSet
+    reports: dict[str, ClusterReport]
+
+    def report_for(self, arm: str) -> ClusterReport:
+        """Look up one arm's report (``"fifo"`` or ``"priority"``)."""
+        return self.reports[arm]
+
+    def render(self) -> str:
+        """Per-class table for both arms plus the fleet-level summary."""
+        fifo, prio = self.reports["fifo"], self.reports["priority"]
+        rate = fifo.arrival_rate_hz
+        title = (
+            f"Multi-tenant scheduling ({self.dataset}) — diurnal mix @ "
+            f"{rate:.0f} req/s vs {self.capacity_hz:.0f} req/s capacity, "
+            f"{fifo.n_replicas_start} replicas"
+        )
+        table = class_table(
+            [(arm, self.reports[arm].class_reports) for arm in TENANT_ARMS],
+            title=title,
+        )
+        inter = self.classes.code("interactive")
+        batch = self.classes.code("batch")
+        summary = (
+            f"interactive SLO attainment: priority "
+            f"{prio.class_reports[inter].slo_attainment:.1%} vs fifo "
+            f"{fifo.class_reports[inter].slo_attainment:.1%}; batch served "
+            f"under priority: {prio.class_reports[batch].n_served} of "
+            f"{prio.class_reports[batch].n_requests} (reserve keeps it alive)"
+        )
+        fleet = fleet_comparison_table(
+            [fifo, prio], title=f"Fleet-level view ({self.dataset})"
+        )
+        return table.render() + "\n" + summary + "\n\n" + fleet.render()
+
+
+def _default_fleet(fast: bool, seed: int, dataset: str):
+    """A homogeneous trained CBNet fleet (three GCI-CPU replicas)."""
+    scale = scale_for(fast)
+    artifacts = pipeline_for(dataset, scale, seed=seed)
+    device = device_profiles()["gci-cpu"]
+    backends = tuple(CBNetBackend(artifacts.cbnet, device) for _ in range(3))
+    spec = FleetSpec(
+        backends=backends,
+        spawn_backend=lambda: CBNetBackend(artifacts.cbnet, device),
+    )
+    test = artifacts.datasets["test"]
+    return spec, test.images, test.labels
+
+
+def run_tenants_comparison(
+    fast: bool = True,
+    seed: int = 0,
+    dataset: str = "mnist",
+    n_requests: int | None = None,
+    overload: float = 1.6,
+    fleet: FleetSpec | None = None,
+    images: np.ndarray | None = None,
+    labels: np.ndarray | None = None,
+    live: bool = False,
+) -> TenantsComparison:
+    """Run both scheduling arms on one shared overload trace.
+
+    ``overload`` is the peak arrival rate as a multiple of fleet
+    capacity (the mean rate follows from the diurnal depth); both arms
+    replay the identical arrival times, request stream, *and* class
+    codes, so every per-class delta is the scheduling discipline alone.
+    Pass a toy ``fleet`` (plus ``images``/``labels``) to exercise the
+    experiment without trained models — that is what the smoke tests
+    do.  Oracle mode by default; ``live=True`` restores in-loop
+    inference with identical metrics.
+    """
+    if overload <= 1.0:
+        raise ValueError(f"overload must exceed 1.0 to stress admission, got {overload}")
+    if fleet is None:
+        fleet, images, labels = _default_fleet(fast, seed, dataset)
+    elif images is None:
+        raise ValueError("a custom fleet needs explicit images (and labels)")
+    if n_requests is None:
+        n_requests = 3000 if fast else 8000
+
+    capacity = fleet.capacity_hz()
+    # Interactive deadline: a full batch on the slowest replica plus the
+    # batching wait with 3x queueing headroom — attainable for a class
+    # that jumps every queue, hopeless for one stuck behind batch work.
+    slowest = max(
+        b.mean_service_s(batch_size=fleet.max_batch_size) * fleet.max_batch_size
+        for b in fleet.backends
+    )
+    slo_s = 3.0 * (slowest + fleet.max_wait_s)
+    classes = default_classes(slo_s=slo_s, max_wait_s=fleet.max_wait_s)
+
+    depth = 0.8
+    mean_rate = overload / (1.0 + depth) * capacity
+    period = 0.5 * n_requests / mean_rate
+    arrival_s = diurnal_arrivals(
+        mean_rate,
+        n_requests,
+        period_s=period,
+        depth=depth,
+        rng=as_generator(derive_seed(seed, dataset, "tenants-arrivals")),
+    )
+    codes = diurnal_class_mix(
+        arrival_s,
+        period_s=period,
+        peak_shares=np.asarray(PEAK_SHARES),
+        trough_shares=np.asarray(TROUGH_SHARES),
+        rng=as_generator(derive_seed(seed, dataset, "tenants-mix")),
+    )
+
+    stream_rng = as_generator(derive_seed(seed, dataset, "tenants-stream"))
+    indices = zipf_popularity(len(images), n_requests, exponent=0.9, rng=stream_rng)
+    req_labels = labels[indices] if labels is not None else None
+    if live:
+        req_images = images[indices]
+    else:
+        fleet = _oracle_fleet(fleet, images)
+        req_images = indices
+
+    max_outstanding = 8 * fleet.max_batch_size * len(fleet.backends)
+    admissions = {
+        "fifo": AdmissionController(max_outstanding=max_outstanding, policy=REJECT),
+        "priority": WeightedFairAdmission(classes, max_outstanding=max_outstanding),
+    }
+    reports: dict[str, ClusterReport] = {}
+    for arm in TENANT_ARMS:
+        cluster = Cluster(
+            list(fleet.backends),
+            policy="least-outstanding",
+            admission=admissions[arm],
+            slo_s=classes[classes.code("interactive")].deadline_s,
+            classes=classes,
+            scheduler=arm,
+            max_batch_size=fleet.max_batch_size,
+            max_wait_s=fleet.max_wait_s,
+            # No result cache: cache hits bypass admission, which would
+            # dilute the overload the arms are meant to disagree on.
+            cache_capacity=0,
+            rng=derive_seed(seed, dataset, f"tenants-{arm}"),
+        )
+        reports[arm] = cluster.serve(
+            req_images,
+            arrival_s,
+            labels=req_labels,
+            scenario=f"tenants-{arm}",
+            request_classes=codes,
+        )
+    return TenantsComparison(
+        dataset=dataset,
+        n_requests=n_requests,
+        capacity_hz=capacity,
+        classes=classes,
+        reports=reports,
+    )

@@ -18,8 +18,10 @@ Quick tour::
 
 from repro.serving.arrivals import (
     bursty_arrivals,
+    class_mix,
     constant_arrivals,
     diurnal_arrivals,
+    diurnal_class_mix,
     flash_crowd_arrivals,
     poisson_arrivals,
     trace_arrivals,
@@ -35,7 +37,17 @@ from repro.serving.backends import (
 )
 from repro.serving.batcher import MicroBatcher
 from repro.serving.cache import LRUResultCache, image_key
+from repro.serving.classes import (
+    DEFAULT_CLASSES,
+    ClassReport,
+    ClassSet,
+    RequestClass,
+    class_table,
+    default_classes,
+    per_class_reports,
+)
 from repro.serving.engine import Server, ServingReport, comparison_table
+from repro.serving.priority import PriorityBatcher
 from repro.serving.request import Request, Route
 from repro.serving.router import EntropyRouter, RouteDecision
 
@@ -45,7 +57,15 @@ __all__ = [
     "comparison_table",
     "Request",
     "Route",
+    "RequestClass",
+    "ClassSet",
+    "ClassReport",
+    "DEFAULT_CLASSES",
+    "default_classes",
+    "per_class_reports",
+    "class_table",
     "MicroBatcher",
+    "PriorityBatcher",
     "LRUResultCache",
     "image_key",
     "EntropyRouter",
@@ -63,4 +83,6 @@ __all__ = [
     "flash_crowd_arrivals",
     "trace_arrivals",
     "zipf_popularity",
+    "class_mix",
+    "diurnal_class_mix",
 ]

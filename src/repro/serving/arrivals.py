@@ -25,6 +25,8 @@ __all__ = [
     "flash_crowd_arrivals",
     "trace_arrivals",
     "zipf_popularity",
+    "class_mix",
+    "diurnal_class_mix",
 ]
 
 
@@ -248,3 +250,69 @@ def zipf_popularity(
     rng = as_generator(rng)
     weights = (np.arange(1, n_items + 1, dtype=np.float64)) ** -exponent
     return rng.choice(n_items, size=size, p=weights / weights.sum())
+
+
+def _validate_shares(shares) -> np.ndarray:
+    shares = np.asarray(shares, dtype=np.float64)
+    if shares.ndim != 1 or shares.size == 0:
+        raise ValueError("shares must be a non-empty 1-D sequence")
+    if np.any(shares < 0) or shares.sum() <= 0:
+        raise ValueError(f"shares must be non-negative with a positive sum: {shares}")
+    return shares / shares.sum()
+
+
+def class_mix(
+    n: int, shares, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """Sample ``n`` request-class codes with fixed mix proportions.
+
+    ``shares[c]`` is the traffic fraction of class code ``c`` (class
+    codes index a :class:`~repro.serving.classes.ClassSet`; shares are
+    normalized, so weights work too).  Returns an ``int8`` code array
+    aligned with an arrival trace — the ``request_classes`` input of
+    the serving engines.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    shares = _validate_shares(shares)
+    rng = as_generator(rng)
+    return rng.choice(shares.size, size=n, p=shares).astype(np.int8)
+
+
+def diurnal_class_mix(
+    arrival_s,
+    period_s: float,
+    peak_shares,
+    trough_shares,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Class codes whose mix swings with the diurnal cycle of a trace.
+
+    Real tenant mixes are time-of-day dependent: interactive traffic
+    dominates the daytime peak while batch work fills the trough.  For
+    each arrival time ``t`` the per-class shares are interpolated
+    between ``trough_shares`` and ``peak_shares`` by the same
+    ``sin(2πt/period_s)`` phase :func:`diurnal_arrivals` uses for the
+    rate, then one categorical draw per request picks its class.  Pair
+    it with ``diurnal_arrivals(..., period_s=period_s)`` on the same
+    ``period_s`` so "busier" and "more interactive" coincide — the
+    overload shape the ``tenants`` experiment stresses.
+    """
+    arrival_s = np.asarray(arrival_s, dtype=np.float64)
+    if arrival_s.ndim != 1 or arrival_s.size == 0:
+        raise ValueError("arrival_s must be a non-empty 1-D time array")
+    if period_s <= 0:
+        raise ValueError(f"period_s must be positive, got {period_s}")
+    peak = _validate_shares(peak_shares)
+    trough = _validate_shares(trough_shares)
+    if peak.shape != trough.shape:
+        raise ValueError("peak_shares and trough_shares need the same length")
+    rng = as_generator(rng)
+    # Phase in [0, 1]: 1 at the sinusoid's crest, 0 in the trough.
+    phase = 0.5 * (1.0 + np.sin(2.0 * np.pi * arrival_s / period_s))
+    shares = trough[None, :] + phase[:, None] * (peak - trough)[None, :]
+    shares /= shares.sum(axis=1, keepdims=True)
+    # One inverse-CDF draw per request, vectorized across the trace.
+    cdf = np.cumsum(shares, axis=1)
+    u = rng.random(arrival_s.size)
+    return (u[:, None] > cdf).sum(axis=1).astype(np.int8)

@@ -63,8 +63,14 @@ class MicroBatcher:
             return math.inf
         return self._oldest_s + self.max_wait_s
 
-    def add(self, req_id: int, now: float) -> None:
-        """Admit one request at time ``now``."""
+    def add(self, req_id: int, now: float, cls: int = 0) -> None:
+        """Admit one request at time ``now``.
+
+        ``cls`` (the request-class code) is accepted for interface
+        parity with :class:`~repro.serving.priority.PriorityBatcher`
+        and ignored — FIFO batching is class-blind.
+        """
+        del cls
         if len(self._pending) >= self.max_batch_size:
             raise RuntimeError(
                 "batcher is full — flush() must run before the next add()"
@@ -84,3 +90,9 @@ class MicroBatcher:
         batch, self._pending = self._pending, []
         self._oldest_s = math.inf
         return batch
+
+    def drain(self) -> list[int]:
+        """Return and clear everything pending (== ``flush`` here;
+        :class:`~repro.serving.priority.PriorityBatcher` distinguishes
+        the two)."""
+        return self.flush()

@@ -43,6 +43,13 @@ from repro.parallel.pool import parallel_map
 from repro.serving.backends import InferenceBackend
 from repro.serving.batcher import MicroBatcher
 from repro.serving.cache import LRUResultCache
+from repro.serving.classes import (
+    DEFAULT_CLASSES,
+    ClassReport,
+    ClassSet,
+    per_class_reports,
+)
+from repro.serving.priority import PriorityBatcher
 from repro.serving.request import Request
 from repro.sim.core import request_keys, validate_trace
 from repro.sim.records import (
@@ -89,6 +96,8 @@ class ServingReport:
     n_cached: int = 0
     cache_hit_rate: float = 0.0
     accuracy: float = float("nan")
+    #: Per-request-class slices (empty for single-class runs).
+    class_reports: tuple[ClassReport, ...] = ()
 
     def summary(self) -> str:
         return (
@@ -158,6 +167,17 @@ class Server:
         LRU result-cache entries; ``0`` disables caching.
     cache_lookup_s:
         Virtual cost of answering from the cache (hash + dictionary hit).
+    classes:
+        Optional :class:`~repro.serving.classes.ClassSet` enabling
+        multi-tenant mode: ``serve*`` then requires per-request class
+        codes, requests queue in a worker-gated
+        :class:`~repro.serving.priority.PriorityBatcher`, and the
+        report carries per-class slices.  ``None`` (default) keeps the
+        single-class engine unchanged.
+    scheduler:
+        Multi-tenant flush discipline: ``"priority"`` (urgent classes
+        board first, per-class wait caps) or ``"fifo"`` (class-blind
+        control arm).  Ignored when ``classes`` is ``None``.
     """
 
     def __init__(
@@ -168,11 +188,15 @@ class Server:
         n_workers: int = 1,
         cache_capacity: int = 0,
         cache_lookup_s: float = 2e-5,
+        classes: ClassSet | None = None,
+        scheduler: str = "priority",
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         if cache_lookup_s < 0:
             raise ValueError(f"cache_lookup_s must be >= 0, got {cache_lookup_s}")
+        if scheduler not in ("priority", "fifo"):
+            raise ValueError(f"unknown scheduler {scheduler!r}")
         # Fail fast on bad batcher/cache parameters (their ctors validate).
         MicroBatcher(max_batch_size, max_wait_s)
         LRUResultCache(cache_capacity)
@@ -182,6 +206,8 @@ class Server:
         self.n_workers = int(n_workers)
         self.cache_capacity = int(cache_capacity)
         self.cache_lookup_s = float(cache_lookup_s)
+        self.classes = classes
+        self.scheduler = scheduler
 
     # ------------------------------------------------------------------ #
     # serving loop
@@ -192,6 +218,7 @@ class Server:
         arrival_s: np.ndarray,
         labels: np.ndarray | None = None,
         scenario: str = "trace",
+        request_classes: np.ndarray | None = None,
     ) -> ServingReport:
         """Replay one arrival trace end to end and report.
 
@@ -199,9 +226,10 @@ class Server:
         ``labels`` (optional) adds end-to-end accuracy to the report —
         predictions are the backend's genuine outputs (real inference,
         or the oracle table built from it), so this is a served-traffic
-        accuracy, not a placeholder.
+        accuracy, not a placeholder.  ``request_classes`` (multi-tenant
+        mode) gives each request its class code.
         """
-        report, _ = self.serve_log(images, arrival_s, labels, scenario)
+        report, _ = self.serve_log(images, arrival_s, labels, scenario, request_classes)
         return report
 
     def serve_detailed(
@@ -210,6 +238,7 @@ class Server:
         arrival_s: np.ndarray,
         labels: np.ndarray | None = None,
         scenario: str = "trace",
+        request_classes: np.ndarray | None = None,
     ) -> tuple[ServingReport, list[Request]]:
         """:meth:`serve`, additionally returning per-request records.
 
@@ -219,8 +248,28 @@ class Server:
         after the server answered.  Prefer :meth:`serve_log` when the
         array view suffices — it skips materializing request objects.
         """
-        report, log = self.serve_log(images, arrival_s, labels, scenario)
+        report, log = self.serve_log(images, arrival_s, labels, scenario, request_classes)
         return report, log.to_requests()
+
+    def _resolve_classes(
+        self, request_classes, n: int
+    ) -> tuple[ClassSet | None, np.ndarray | None]:
+        """Pair up the ctor class set with the per-request codes.
+
+        ``classes`` without codes is an error (every request needs a
+        class); codes without ``classes`` default to
+        :data:`~repro.serving.classes.DEFAULT_CLASSES`.
+        """
+        classes = self.classes
+        if request_classes is None:
+            if classes is not None:
+                raise ValueError(
+                    "Server(classes=...) requires request_classes in serve*()"
+                )
+            return None, None
+        if classes is None:
+            classes = DEFAULT_CLASSES
+        return classes, classes.validate_codes(request_classes, n)
 
     def serve_log(
         self,
@@ -228,9 +277,11 @@ class Server:
         arrival_s: np.ndarray,
         labels: np.ndarray | None = None,
         scenario: str = "trace",
+        request_classes: np.ndarray | None = None,
     ) -> tuple[ServingReport, RequestLog]:
         """:meth:`serve`, additionally returning the SoA request log."""
         images, arrival_s = validate_trace(images, arrival_s)
+        classes, codes = self._resolve_classes(request_classes, arrival_s.shape[0])
         oracle = self.backend.oracle
         if not oracle:
             # Pay the fastpath plan compilation for the routing path
@@ -245,7 +296,8 @@ class Server:
             )
 
         log = RequestLog(arrival_s)
-        batcher = MicroBatcher(self.max_batch_size, self.max_wait_s)
+        if codes is not None:
+            log.req_class[:] = codes
         cache = LRUResultCache(self.cache_capacity)
         workers = [0.0] * self.n_workers
         batches: list[tuple[list[int], object]] = []  # (indices, RouteDecision|None)
@@ -254,7 +306,9 @@ class Server:
 
         keys = request_keys(images, oracle) if self.cache_capacity > 0 else None
         completion = log.completion_s
+        dispatch_s = log.dispatch_s
         route = log.route
+        requested_route = log.requested_route
         batch_size = log.batch_size
         source_id = log.source_id
 
@@ -271,9 +325,13 @@ class Server:
             workers[w] = done
             busy_s += service
             completion[idx] = done
+            dispatch_s[idx] = start
             batch_size[idx] = len(indices)
             if decision is not None:
                 route[idx] = np.where(decision.easy, ROUTE_EASY, ROUTE_HARD)
+            # No admission control on the single server: the served
+            # route IS the requested route.
+            requested_route[idx] = route[idx]
             if keys is not None:
                 # Results become visible at their batch's completion
                 # time; ties break on the request index so insertion
@@ -283,31 +341,100 @@ class Server:
                     heapq.heappush(inserts, (done, i, keys[i]))
             batches.append((idx, decision))
 
-        for i, now in enumerate(arrival_s.tolist()):
-            # Deadline-triggered flushes that fire before this arrival.
-            while batcher and batcher.deadline_s <= now:
+        def cache_hit(i: int, now: float) -> bool:
+            """Settle visible results, then try to answer ``i`` from cache."""
+            while inserts and inserts[0][0] <= now:
+                _, src, key = heapq.heappop(inserts)
+                cache.put(key, src)
+            hit = cache.get(keys[i])
+            if hit is None:
+                return False
+            route[i] = ROUTE_CACHED
+            requested_route[i] = ROUTE_CACHED
+            source_id[i] = int(hit)
+            dispatch_s[i] = now  # answered on arrival — never queued
+            completion[i] = now + self.cache_lookup_s
+            return True
+
+        if classes is not None:
+            self._pump_classes(
+                arrival_s, codes, classes, keys, cache_hit, dispatch,
+                worker_free=lambda: min(workers),
+            )
+        else:
+            batcher = MicroBatcher(self.max_batch_size, self.max_wait_s)
+            for i, now in enumerate(arrival_s.tolist()):
+                # Deadline-triggered flushes that fire before this arrival.
+                while batcher and batcher.deadline_s <= now:
+                    flush_at = batcher.deadline_s
+                    dispatch(batcher.flush(), flush_at)
+                if keys is not None and cache_hit(i, now):
+                    continue
+                batcher.add(i, now)
+                if batcher.should_flush(now):
+                    dispatch(batcher.flush(), now)
+            while batcher:
                 flush_at = batcher.deadline_s
                 dispatch(batcher.flush(), flush_at)
-            if keys is not None:
-                while inserts and inserts[0][0] <= now:
-                    _, src, key = heapq.heappop(inserts)
-                    cache.put(key, src)
-                hit = cache.get(keys[i])
-                if hit is not None:
-                    route[i] = ROUTE_CACHED
-                    source_id[i] = int(hit)
-                    completion[i] = now + self.cache_lookup_s
-                    continue
-            batcher.add(i, now)
-            if batcher.should_flush(now):
-                dispatch(batcher.flush(), now)
-        while batcher:
-            flush_at = batcher.deadline_s
-            dispatch(batcher.flush(), flush_at)
 
         self._fill_predictions(log, batches, images)
-        report = self._report(log, batches, arrival_s, labels, cache, busy_s, scenario)
+        report = self._report(
+            log, batches, arrival_s, labels, cache, busy_s, scenario, classes
+        )
         return report, log
+
+    def _pump_classes(
+        self, arrival_s, codes, classes, keys, cache_hit, dispatch, worker_free
+    ) -> None:
+        """Multi-tenant event loop: worker-gated priority batching.
+
+        Unlike the single-class loop — where every flush hands its batch
+        straight to a worker queue — dispatch here is *gated on worker
+        availability*: the queue lives in the batcher, where scheduling
+        order matters.  A flush fires at the earliest time a worker is
+        free AND a trigger holds:
+
+        * ``pending >= max_batch_size`` → flush the moment a worker
+          frees (``worker_free_s``);
+        * otherwise → wait for the earliest per-class deadline, or the
+          worker if it frees later (``max(deadline_s, worker_free_s)``).
+
+        Under overload pending grows beyond one batch and the
+        scheduler's fill order (priority vs FIFO) decides who boards —
+        which is the entire point of multi-tenant mode.
+        """
+        batcher = PriorityBatcher(
+            classes, self.max_batch_size, self.max_wait_s, ordering=self.scheduler
+        )
+
+        def next_flush_s() -> float:
+            free = worker_free()
+            if len(batcher) >= batcher.max_batch_size:
+                return free
+            return max(batcher.deadline_s, free)
+
+        code_list = codes.tolist()
+        for i, now in enumerate(arrival_s.tolist()):
+            while batcher:
+                t = next_flush_s()
+                if t > now:
+                    break
+                dispatch(batcher.flush(), t)
+            if keys is not None and cache_hit(i, now):
+                continue
+            batcher.add(i, now, cls=code_list[i])
+            while batcher:
+                t = next_flush_s()
+                if t > now:
+                    break
+                # The trigger completed only with this arrival: the
+                # flush cannot predate the request it includes.
+                dispatch(batcher.flush(), max(t, now))
+        while batcher:
+            # Pin the flush time *before* flushing — next_flush_s reads
+            # the pending set, which flush() consumes.
+            t = next_flush_s()
+            dispatch(batcher.flush(), t)
 
     # ------------------------------------------------------------------ #
     # inference over the worker pool
@@ -346,7 +473,15 @@ class Server:
     # reporting
     # ------------------------------------------------------------------ #
     def _report(
-        self, log: RequestLog, batches, arrival_s, labels, cache, busy_s, scenario
+        self,
+        log: RequestLog,
+        batches,
+        arrival_s,
+        labels,
+        cache,
+        busy_s,
+        scenario,
+        classes: ClassSet | None = None,
     ) -> ServingReport:
         sojourn = log.sojourn_s
         makespan = float(log.completion_s.max() - arrival_s[0])
@@ -380,4 +515,7 @@ class Server:
             n_cached=log.route_count(ROUTE_CACHED),
             cache_hit_rate=cache.hit_rate,
             accuracy=accuracy,
+            class_reports=(
+                per_class_reports(log, classes, labels) if classes is not None else ()
+            ),
         )

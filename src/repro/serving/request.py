@@ -59,6 +59,17 @@ class Request:
     retries:
         Fleet serving: how many times the request was re-dispatched
         after a replica crash cancelled its batch.
+    dispatch_s:
+        When the request left the queue for service (cache hits use the
+        arrival time — they never queue); NaN for unserved requests.
+    requested_route:
+        The route the routing/entropy gate originally asked for, before
+        any admission-control degrade forced the easy path.  Equal to
+        ``route`` whenever ``degraded`` is False.
+    req_class:
+        Multi-tenant request-class code
+        (:class:`~repro.serving.classes.ClassSet` index); 0 in
+        single-class runs.
     """
 
     req_id: int
@@ -71,6 +82,9 @@ class Request:
     replica_id: int = -1
     degraded: bool = False
     retries: int = 0
+    dispatch_s: float = field(default=float("nan"))
+    requested_route: str = Route.BATCHED
+    req_class: int = 0
 
     @property
     def sojourn_s(self) -> float:

@@ -53,26 +53,32 @@ class RequestLog:
     __slots__ = (
         "arrival_s",
         "completion_s",
+        "dispatch_s",
         "prediction",
         "route",
+        "requested_route",
         "batch_size",
         "source_id",
         "replica_id",
         "degraded",
         "retries",
+        "req_class",
     )
 
     def __init__(self, arrival_s: np.ndarray) -> None:
         n = arrival_s.shape[0]
         self.arrival_s = np.asarray(arrival_s, dtype=np.float64)
         self.completion_s = np.full(n, np.nan)
+        self.dispatch_s = np.full(n, np.nan)
         self.prediction = np.full(n, -1, dtype=np.int64)
         self.route = np.zeros(n, dtype=np.int8)  # ROUTE_BATCHED
+        self.requested_route = np.zeros(n, dtype=np.int8)  # pre-degrade decision
         self.batch_size = np.zeros(n, dtype=np.int32)
         self.source_id = np.full(n, -1, dtype=np.int64)
         self.replica_id = np.full(n, -1, dtype=np.int32)
         self.degraded = np.zeros(n, dtype=bool)
         self.retries = np.zeros(n, dtype=np.int32)
+        self.req_class = np.zeros(n, dtype=np.int8)
 
     def __len__(self) -> int:
         return self.arrival_s.shape[0]
@@ -104,17 +110,20 @@ class RequestLog:
     def to_requests(self) -> list[Request]:
         """Materialize the object view (one ``Request`` per row)."""
         routes = self.route.tolist()
+        req_routes = self.requested_route.tolist()
         out = []
-        for i, (arr, comp, pred, batch, src, rep, deg, ret) in enumerate(
+        for i, (arr, comp, disp, pred, batch, src, rep, deg, ret, cls) in enumerate(
             zip(
                 self.arrival_s.tolist(),
                 self.completion_s.tolist(),
+                self.dispatch_s.tolist(),
                 self.prediction.tolist(),
                 self.batch_size.tolist(),
                 self.source_id.tolist(),
                 self.replica_id.tolist(),
                 self.degraded.tolist(),
                 self.retries.tolist(),
+                self.req_class.tolist(),
             )
         ):
             out.append(
@@ -122,13 +131,16 @@ class RequestLog:
                     req_id=i,
                     arrival_s=arr,
                     completion_s=comp,
+                    dispatch_s=disp,
                     prediction=pred,
                     route=_ROUTE_STRS[routes[i]],
+                    requested_route=_ROUTE_STRS[req_routes[i]],
                     batch_size=batch,
                     source_id=src,
                     replica_id=rep,
                     degraded=deg,
                     retries=ret,
+                    req_class=cls,
                 )
             )
         return out

@@ -1,0 +1,110 @@
+"""Tenants experiment smoke: the full run_tenants_comparison path on a
+toy fleet (no training), including the acceptance-shaped assertion the
+real benchmark makes — priority beats FIFO on interactive SLO
+attainment under overload without starving batch."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fleet import FleetSpec
+from repro.experiments.tenants import TENANT_ARMS, run_tenants_comparison
+from repro.serving.backends import BatchTiming, InferenceBackend
+
+
+class ToyBackend(InferenceBackend):
+    """Constant-rate toy model: label = pixel-sum mod 10."""
+
+    name = "toy"
+
+    def __init__(self, per_item_s, overhead_s=0.0008):
+        super().__init__(BatchTiming(overhead_s=overhead_s, per_item_s=per_item_s))
+
+    def predict(self, images, decision=None):
+        return (images.reshape(images.shape[0], -1).sum(axis=1)).astype(np.int64) % 10
+
+
+def _toy_spec():
+    return FleetSpec(
+        backends=(ToyBackend(0.0006), ToyBackend(0.0006), ToyBackend(0.0006)),
+        spawn_backend=lambda: ToyBackend(0.0006),
+    )
+
+
+@pytest.fixture(scope="module")
+def toy_comparison():
+    rng = np.random.default_rng(0)
+    images = rng.random((400, 1, 4, 4)).astype(np.float32)
+    labels = (images.reshape(400, -1).sum(axis=1)).astype(np.int64) % 10
+    return run_tenants_comparison(
+        fast=True,
+        seed=0,
+        n_requests=2000,
+        fleet=_toy_spec(),
+        images=images,
+        labels=labels,
+    )
+
+
+class TestArms:
+    def test_both_arms_replay_the_identical_trace(self, toy_comparison):
+        fifo, prio = (toy_comparison.report_for(a) for a in TENANT_ARMS)
+        assert fifo.n_requests == prio.n_requests == 2000
+        assert fifo.arrival_rate_hz == prio.arrival_rate_hz
+        # Same class mix on both sides, request for request.
+        for a, b in zip(fifo.class_reports, prio.class_reports):
+            assert a.name == b.name
+            assert a.n_requests == b.n_requests
+
+    def test_toy_predictions_really_ran(self, toy_comparison):
+        for arm in TENANT_ARMS:
+            for cr in toy_comparison.report_for(arm).class_reports:
+                if cr.n_served:
+                    assert cr.accuracy == 1.0
+
+
+class TestAcceptance:
+    def test_priority_beats_fifo_on_interactive_slo(self, toy_comparison):
+        code = toy_comparison.classes.code("interactive")
+        fifo = toy_comparison.report_for("fifo").class_reports[code]
+        prio = toy_comparison.report_for("priority").class_reports[code]
+        assert prio.slo_attainment > fifo.slo_attainment
+        assert prio.p99_s < fifo.p99_s
+
+    def test_batch_is_throttled_not_starved(self, toy_comparison):
+        code = toy_comparison.classes.code("batch")
+        batch = toy_comparison.report_for("priority").class_reports[code]
+        assert batch.n_served > 0
+        assert batch.n_unserved == 0
+
+
+class TestRendering:
+    def test_render_mentions_every_class_and_arm(self, toy_comparison):
+        text = toy_comparison.render()
+        for arm in TENANT_ARMS:
+            assert arm in text
+        for name in toy_comparison.classes.names():
+            assert name in text
+        assert "interactive SLO attainment" in text
+
+
+def test_live_matches_oracle_per_class():
+    rng = np.random.default_rng(1)
+    images = rng.random((200, 1, 4, 4)).astype(np.float32)
+    labels = (images.reshape(200, -1).sum(axis=1)).astype(np.int64) % 10
+    kwargs = dict(
+        fast=True, seed=0, n_requests=600, images=images, labels=labels
+    )
+    orc = run_tenants_comparison(fleet=_toy_spec(), live=False, **kwargs)
+    live = run_tenants_comparison(fleet=_toy_spec(), live=True, **kwargs)
+    for arm in TENANT_ARMS:
+        assert live.report_for(arm).class_reports == orc.report_for(arm).class_reports
+
+
+def test_custom_fleet_requires_images():
+    with pytest.raises(ValueError):
+        run_tenants_comparison(fleet=_toy_spec())
+
+
+def test_overload_must_exceed_capacity():
+    with pytest.raises(ValueError):
+        run_tenants_comparison(overload=0.9)

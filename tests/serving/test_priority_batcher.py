@@ -1,0 +1,151 @@
+"""Unit tests for the priority-aware micro-batcher and the class specs."""
+
+import pytest
+
+from repro.serving.classes import ClassSet, RequestClass, default_classes
+from repro.serving.priority import PriorityBatcher
+
+
+@pytest.fixture
+def classes():
+    return ClassSet(
+        (
+            RequestClass("interactive", 0, 0.05, 0.5, max_wait_s=0.001),
+            RequestClass("standard", 1, 0.2, 0.3),
+            RequestClass("batch", 2, 1.0, 0.2, max_wait_s=0.016),
+        )
+    )
+
+
+class TestFlushOrdering:
+    def test_priority_first_fifo_within_class(self, classes):
+        b = PriorityBatcher(classes, max_batch_size=8, max_wait_s=0.004)
+        b.add(0, 0.0, cls=2)
+        b.add(1, 0.001, cls=1)
+        b.add(2, 0.002, cls=0)
+        b.add(3, 0.003, cls=2)
+        b.add(4, 0.004, cls=0)
+        assert b.flush() == [2, 4, 1, 0, 3]
+        assert len(b) == 0
+
+    def test_cap_retains_lower_priority(self, classes):
+        b = PriorityBatcher(classes, max_batch_size=2, max_wait_s=0.004)
+        b.add(0, 0.0, cls=2)
+        b.add(1, 0.001, cls=0)
+        b.add(2, 0.002, cls=1)
+        assert b.flush() == [1, 2]  # batch-class request left queued
+        assert len(b) == 1 and b.queue_depth(2) == 1
+        assert b.flush() == [0]
+
+    def test_fifo_arm_is_class_blind(self, classes):
+        b = PriorityBatcher(classes, max_batch_size=8, ordering="fifo")
+        b.add(0, 0.0, cls=2)
+        b.add(1, 0.001, cls=0)
+        b.add(2, 0.002, cls=1)
+        assert b.flush() == [0, 1, 2]
+
+    def test_fifo_tie_breaks_on_req_id(self, classes):
+        b = PriorityBatcher(classes, max_batch_size=8, ordering="fifo")
+        b.add(5, 0.0, cls=2)
+        b.add(3, 0.0, cls=0)
+        assert b.flush() == [3, 5]
+
+
+class TestWaitCaps:
+    def test_deadline_is_earliest_class_cap(self, classes):
+        b = PriorityBatcher(classes, max_batch_size=8, max_wait_s=0.004)
+        b.add(0, 0.0, cls=2)  # batch: fires at 0.016
+        assert b.deadline_s == pytest.approx(0.016)
+        b.add(1, 0.002, cls=1)  # standard: default cap -> 0.006
+        assert b.deadline_s == pytest.approx(0.006)
+        b.add(2, 0.003, cls=0)  # interactive preempts -> 0.004
+        assert b.deadline_s == pytest.approx(0.004)
+
+    def test_should_flush_on_deadline_or_full(self, classes):
+        b = PriorityBatcher(classes, max_batch_size=2, max_wait_s=0.004)
+        assert not b.should_flush(10.0)  # empty never flushes
+        b.add(0, 0.0, cls=2)
+        assert not b.should_flush(0.001)
+        assert b.should_flush(0.016)
+        b.add(1, 0.001, cls=2)  # full batch flushes regardless of deadline
+        assert b.should_flush(0.001)
+
+    def test_fifo_arm_uses_uniform_cap(self, classes):
+        b = PriorityBatcher(classes, max_batch_size=8, max_wait_s=0.004, ordering="fifo")
+        b.add(0, 0.0, cls=0)  # interactive's tight cap is ignored
+        assert b.deadline_s == pytest.approx(0.004)
+
+
+class TestDrain:
+    def test_drain_returns_everything_in_enqueue_order(self, classes):
+        b = PriorityBatcher(classes, max_batch_size=2, max_wait_s=0.004)
+        b.add(0, 0.0, cls=2)
+        b.add(1, 0.001, cls=0)
+        b.add(2, 0.002, cls=1)
+        assert b.drain() == [0, 1, 2]
+        assert len(b) == 0 and not b
+
+    def test_empty_deadline_is_inf(self, classes):
+        b = PriorityBatcher(classes)
+        assert b.deadline_s == float("inf")
+        assert b.flush() == []
+
+
+class TestValidation:
+    def test_bad_ordering_rejected(self, classes):
+        with pytest.raises(ValueError):
+            PriorityBatcher(classes, ordering="random")
+
+    def test_bad_knobs_rejected(self, classes):
+        with pytest.raises(ValueError):
+            PriorityBatcher(classes, max_batch_size=0)
+        with pytest.raises(ValueError):
+            PriorityBatcher(classes, max_wait_s=-1.0)
+
+
+class TestClassSpecs:
+    def test_request_class_validation(self):
+        with pytest.raises(ValueError):
+            RequestClass("", 0, 0.05, 1.0)
+        with pytest.raises(ValueError):
+            RequestClass("x", 0, -0.05, 1.0)
+        with pytest.raises(ValueError):
+            RequestClass("x", 0, 0.05, 0.0)
+        with pytest.raises(ValueError):
+            RequestClass("x", 0, 0.05, 1.0, max_wait_s=-0.001)
+
+    def test_class_set_rejects_duplicates_and_empty(self):
+        with pytest.raises(ValueError):
+            ClassSet(())
+        with pytest.raises(ValueError):
+            ClassSet(
+                (RequestClass("a", 0, 0.1, 1.0), RequestClass("a", 1, 0.2, 1.0))
+            )
+
+    def test_by_priority_and_shares(self, classes):
+        assert classes.by_priority == (0, 1, 2)
+        assert classes.code("batch") == 2
+        assert sum(classes.shares) == pytest.approx(1.0)
+        assert classes.shares[0] == pytest.approx(0.5)
+
+    def test_wait_caps_fall_back_to_default(self, classes):
+        assert classes.wait_caps(0.004) == (0.001, 0.004, 0.016)
+
+    def test_validate_codes(self, classes):
+        import numpy as np
+
+        codes = classes.validate_codes([0, 1, 2, 0], 4)
+        assert codes.dtype == np.int8
+        with pytest.raises(ValueError):
+            classes.validate_codes([0, 1], 4)
+        with pytest.raises(ValueError):
+            classes.validate_codes([0, 3, 0, 0], 4)
+
+    def test_default_classes_shape(self):
+        cs = default_classes(slo_s=0.05, max_wait_s=0.004)
+        assert cs.names() == ("interactive", "standard", "batch")
+        inter, standard, batch = cs
+        assert inter.deadline_s == pytest.approx(0.05)
+        assert standard.deadline_s == pytest.approx(0.2)
+        assert batch.deadline_s == pytest.approx(1.0)
+        assert cs.wait_caps(0.004) == (0.001, 0.004, 0.016)

@@ -48,6 +48,7 @@ DEFAULT_SUITES = (
     "benchmarks/test_fleet_cluster.py",
     "benchmarks/test_offload_split.py",
     "benchmarks/test_million_requests.py",
+    "benchmarks/test_tenants_scheduling.py",
 )
 
 _BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")

@@ -38,6 +38,7 @@ REQUIRED_DOCS = (
     "docs/cluster.md",
     "docs/offload.md",
     "docs/sim.md",
+    "docs/scheduling.md",
 )
 
 
