@@ -9,6 +9,8 @@
 #                     SoA records, vectorized arrival regressions
 #   make tenants-smoke  multi-tenant smoke: scheduler invariants, priority
 #                     batcher, FIFO-vs-priority experiment on toy fleets
+#   make chaos-smoke  robustness smoke: chaos invariants under random fault
+#                     storms, fault/breaker/retry units, chaos experiment
 #   make bench-smoke  fast benchmark subset, incl. the serving engine
 #   make bench        full benchmark suite (regenerates benchmarks/results/)
 #   make bench-record record BENCH_<n>.json medians (substrate + serving)
@@ -21,7 +23,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test fleet-smoke offload-smoke sim-smoke tenants-smoke bench-smoke bench bench-record bench-check docs-check docs-run lint
+.PHONY: test fleet-smoke offload-smoke sim-smoke tenants-smoke chaos-smoke bench-smoke bench bench-record bench-check docs-check docs-run lint
 
 test:
 	$(PYTHON) -m pytest tests -x -q
@@ -40,6 +42,13 @@ sim-smoke:
 tenants-smoke:
 	$(PYTHON) -m pytest tests/scheduling tests/serving/test_priority_batcher.py \
 	    tests/experiments/test_tenants.py -q
+
+# tests/cluster is deliberately absent here: it carries its own
+# conftest.py, and pytest resolves `from conftest import ...` to the
+# wrong directory when two conftest-bearing dirs share one invocation.
+chaos-smoke:
+	$(PYTHON) -m pytest tests/chaos tests/faults \
+	    tests/experiments/test_chaos.py -q
 
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/test_table1_architecture.py \

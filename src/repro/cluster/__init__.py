@@ -9,6 +9,12 @@ under overload, and injected :class:`FailureEvent` crashes exercise
 availability — all on one deterministic virtual clock, with real model
 predictions filled in afterwards.
 
+Richer degraded-mode scenarios live in :mod:`repro.faults`: pass
+``Cluster(faults=FaultPlan(...))`` to inject slowdowns, partitions, and
+flaky windows, and ``Cluster(resilience=ResilienceConfig(...))`` to
+fight back with timeouts, retries, hedging, per-replica circuit
+breakers (:class:`ResilientBalancer`), and a degradation ladder.
+
 Quick tour::
 
     from repro.cluster import Cluster, AdmissionController
@@ -45,6 +51,7 @@ from repro.cluster.policies import (
     LeastOutstanding,
     LoadBalancer,
     PowerOfTwoChoices,
+    ResilientBalancer,
     RoundRobin,
     make_policy,
 )
@@ -62,6 +69,7 @@ __all__ = [
     "LeastOutstanding",
     "JoinShortestQueue",
     "PowerOfTwoChoices",
+    "ResilientBalancer",
     "POLICY_NAMES",
     "make_policy",
     "AdmissionController",

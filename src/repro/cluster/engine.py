@@ -41,9 +41,12 @@ import numpy as np
 from repro.cluster.admission import ACCEPT, DEGRADE, REJECT, AdmissionController
 from repro.cluster.autoscaler import Autoscaler
 from repro.cluster.failures import CRASH, FailureEvent
-from repro.cluster.policies import LoadBalancer, make_policy
+from repro.cluster.policies import LoadBalancer, ResilientBalancer, make_policy
 from repro.cluster.replica import InFlightBatch, Replica, ReplicaState
 from repro.eval.metrics import latency_percentiles
+from repro.faults.degrade import MODE_DEGRADE, MODE_SHED, DegradationController
+from repro.faults.plan import FLAKY, SLOWDOWN, FaultPlan
+from repro.faults.resilience import ResilienceConfig
 from repro.eval.tables import Table
 from repro.serving.backends import InferenceBackend
 from repro.serving.cache import LRUResultCache
@@ -70,10 +73,23 @@ __all__ = ["Cluster", "ClusterReport", "fleet_comparison_table"]
 
 # Event kinds, in tie-breaking order at equal timestamps: a replica that
 # finishes warming at t may serve the arrival at t; crashes hit before
-# the work that would have ridden the doomed replica.  Arrivals are not
-# heap events (they stream from a sorted cursor) but keep the largest
-# kind so heap events at an equal timestamp win the tie, as before.
-_EV_UP, _EV_CRASH, _EV_RECOVER, _EV_TICK, _EV_ARRIVAL = range(5)
+# the work that would have ridden the doomed replica; fault-state
+# changes land next, then resilience timers (a timeout at t cancels
+# before the retry/hedge it scheduled for the same instant dispatches).
+# Arrivals are not heap events (they stream from a sorted cursor) but
+# keep the largest kind so heap events at an equal timestamp win the
+# tie, as before.
+(
+    _EV_UP,
+    _EV_CRASH,
+    _EV_RECOVER,
+    _EV_FAULT,
+    _EV_TIMEOUT,
+    _EV_RETRY,
+    _EV_HEDGE,
+    _EV_TICK,
+    _EV_ARRIVAL,
+) = range(9)
 
 
 @dataclass(frozen=True)
@@ -112,6 +128,14 @@ class ClusterReport:
     accuracy: float = float("nan")
     #: Per-request-class slices (empty for single-class runs).
     class_reports: tuple[ClassReport, ...] = ()
+    #: Resilience columns (all zero without faults/resilience): requests
+    #: with >= 1 timed-out attempt, requests hedged, batches whose
+    #: response was a failure (flaky/unhealed partition), and breaker
+    #: trips across the fleet.
+    n_timed_out: int = 0
+    n_hedged: int = 0
+    n_batch_failures: int = 0
+    n_breaker_trips: int = 0
 
     def summary(self) -> str:
         """One-line fleet digest (the cluster sibling of ServingReport.summary)."""
@@ -191,6 +215,15 @@ class _Books:
     class_outstanding: np.ndarray | None = None
     class_events: list[tuple[float, int]] = field(default_factory=list)
     class_counted: np.ndarray | None = None
+    # Resilience bookkeeping (allocated only with a ResilienceConfig):
+    # attempt[i] is the request's current attempt token — bumped on
+    # every cancel/win, so stale timers and late responses compare
+    # unequal and drop; pending[i] counts copies of i sitting in
+    # batchers; drop[i] counts queued copies cancelled before flush
+    # (consumed one per flush, dropping the first occurrence).
+    attempt: np.ndarray | None = None
+    pending: np.ndarray | None = None
+    drop: np.ndarray | None = None
 
 
 class Cluster:
@@ -214,6 +247,21 @@ class Cluster:
         control loop runs every ``config.interval_s`` virtual seconds.
     failures:
         :class:`~repro.cluster.failures.FailureEvent` sequence to inject.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` of typed injections
+        (slowdowns, partitions, flaky windows, plus bundled
+        crash/recover events) replayed on the virtual clock — seeded,
+        so identical in oracle and live modes.
+    resilience:
+        Optional :class:`~repro.faults.ResilienceConfig`.  When set, the
+        engine arms a per-attempt timeout (+ optional hedge) on every
+        routed request, retries failed/timed-out attempts under the
+        config's budget with jittered backoff, wraps the balancer in a
+        :class:`~repro.cluster.policies.ResilientBalancer` (per-replica
+        circuit breakers), and — if the config carries a degradation
+        ladder — walks full → early-exit → shed under sustained breaker
+        pressure.  ``None`` (default) preserves the naive engine
+        bit-for-bit: faults still strike, nothing fights back.
     slo_s:
         Sojourn target used for the report's SLO-attainment column (and
         by the autoscaler's latency signal if one is attached).
@@ -244,6 +292,8 @@ class Cluster:
         admission: AdmissionController | None = None,
         autoscaler: Autoscaler | None = None,
         failures: tuple[FailureEvent, ...] = (),
+        faults: FaultPlan | None = None,
+        resilience: ResilienceConfig | None = None,
         slo_s: float = 0.05,
         max_batch_size: int = 16,
         max_wait_s: float = 0.004,
@@ -265,6 +315,13 @@ class Cluster:
                 "cannot mix oracle and live backends in one fleet: the request "
                 "stream is either sample ids or raw images"
             )
+        if faults is not None:
+            failures = tuple(failures) + tuple(faults.failures)
+            if faults.max_replica_id() >= len(backends):
+                raise ValueError(
+                    f"fault plan targets replica {faults.max_replica_id()}, "
+                    f"but the initial fleet has only {len(backends)} replicas"
+                )
         for event in failures:
             if event.replica_id >= len(backends):
                 raise ValueError(
@@ -283,6 +340,23 @@ class Cluster:
                 "fleet and the admission controller grade the same classes"
             )
         self.policy = make_policy(policy) if isinstance(policy, str) else policy
+        self.faults = faults
+        self.resilience = resilience
+        self._degrader: DegradationController | None = None
+        if resilience is not None:
+            # Breaker-driven ejection lives inside the balancer: wrap
+            # whatever policy the caller picked (unless they already
+            # passed a ResilientBalancer of their own).
+            if not isinstance(self.policy, ResilientBalancer):
+                self.policy = ResilientBalancer(self.policy, resilience.breaker)
+            if resilience.degradation is not None:
+                self._degrader = DegradationController(resilience.degradation)
+        # Static per-replica blackhole windows: responses computed inside
+        # one are withheld until it heals (the balancer keeps routing —
+        # only timeouts can tell a partitioned replica from a slow one).
+        self._partitions = faults.partition_intervals() if faults is not None else {}
+        self._fault_rng = np.random.default_rng(faults.seed if faults is not None else 0)
+        self._n_batch_failures = 0
         self.admission = admission
         self.autoscaler = autoscaler
         self.failures = tuple(sorted(failures))
@@ -493,12 +567,23 @@ class Cluster:
                 # admission; settled lazily at each admission decision.
                 books.class_outstanding = np.zeros(len(self.classes), dtype=np.int64)
                 books.class_counted = np.zeros(len(books.log), dtype=bool)
+        if self.resilience is not None:
+            n_req = len(books.log)
+            books.attempt = np.zeros(n_req, dtype=np.int64)
+            books.pending = np.zeros(n_req, dtype=np.int32)
+            books.drop = np.zeros(n_req, dtype=np.int32)
         self._books = books
         self._heap = []
         self._seq = 0
         for event in self.failures:
             kind = _EV_CRASH if event.kind == CRASH else _EV_RECOVER
             self._push(event.time_s, kind, event.replica_id)
+        if self.faults is not None:
+            # Plan order (already sorted with explicit tie ranks) becomes
+            # heap insertion order, so same-timestamp faults replay
+            # deterministically via the sequence number.
+            for fault in self.faults.faults:
+                self._push(fault.time_s, _EV_FAULT, fault)
         if self.autoscaler is not None:
             self._push(
                 float(arrival_s[0]) + self.autoscaler.config.interval_s, _EV_TICK, None
@@ -523,6 +608,14 @@ class Cluster:
                     self._handle_crash(payload, now)
                 elif kind == _EV_RECOVER:
                     self._handle_recover(payload, now)
+                elif kind == _EV_FAULT:
+                    self._handle_fault(payload)
+                elif kind == _EV_TIMEOUT:
+                    self._handle_timeout(payload, now)
+                elif kind == _EV_RETRY:
+                    self._handle_retry(payload, now)
+                elif kind == _EV_HEDGE:
+                    self._handle_hedge(payload, now)
                 elif kind == _EV_TICK:
                     self._handle_tick(now, arrivals_left=n - cursor)
             else:
@@ -544,13 +637,34 @@ class Cluster:
         self._seq += 1
 
     def _advance(self, now: float) -> None:
-        """Purge completed batches on every replica up to ``now``."""
+        """Purge completed batches on every replica up to ``now``.
+
+        With faults/resilience in play, purge is also where responses
+        are *judged*: a failed batch loses its requests (naive) or
+        schedules their retries (resilient); a successful batch wins
+        only for requests whose attempt token still matches — late
+        responses of cancelled attempts are dropped here, which is the
+        "no response after cancellation" invariant.
+        """
         books = self._books
         finished = books.finished
+        plain = self.resilience is None and self.faults is None
         for replica in self.replicas:
             done = replica.purge(now)
-            if done:
+            if not done:
+                continue
+            if plain:
                 for batch in done:
+                    finished.append((replica, batch))
+                continue
+            for batch in done:
+                if batch.failed:
+                    self._n_batch_failures += 1
+                    self._judge_failure(replica, batch, now)
+                elif self.resilience is not None:
+                    self._judge_success(replica, batch)
+                    finished.append((replica, batch))
+                else:
                     finished.append((replica, batch))
 
     def _flush_deadlines_until(self, limit_s: float) -> None:
@@ -611,6 +725,15 @@ class Cluster:
                 if books.track_completions:
                     books.completions.append((done, i))
                 return
+        if self._degrader is not None:
+            live = [r.replica_id for r in self.replicas if r.state != ReplicaState.DOWN]
+            mode = self._degrader.update(now, self.policy.open_fraction(live))
+            if mode == MODE_SHED:
+                log.route[i] = ROUTE_SHED
+                log.requested_route[i] = ROUTE_SHED
+                return
+            if mode == MODE_DEGRADE:
+                log.degraded[i] = True
         if self.admission is not None:
             cls = int(log.req_class[i])
             if books.class_outstanding is not None:
@@ -646,16 +769,46 @@ class Cluster:
         replica = self.replicas[replica_id]
         if replica.state == ReplicaState.DOWN:
             return
-        log = self._books.log
-        for idx in replica.crash(now):
-            log.completion_s[idx] = float("nan")
-            log.dispatch_s[idx] = float("nan")
-            log.route[idx] = ROUTE_BATCHED
-            log.requested_route[idx] = ROUTE_BATCHED
-            log.batch_size[idx] = 0
-            log.replica_id[idx] = -1
-            log.retries[idx] += 1
-            self._route(idx, now)
+        books = self._books
+        log = books.log
+        if self.resilience is None:
+            for idx in replica.crash(now):
+                self._scrub(idx)
+                log.retries[idx] += 1
+                self._route(idx, now)
+            return
+        # Resilient fleet: the queue may hold copies already cancelled by
+        # a timeout/win (consume their drop markers instead of
+        # re-routing), and in-flight batches carry attempt tokens —
+        # stale attempts were retried elsewhere and must not re-route
+        # again here.
+        lost: list[int] = []
+        for i in replica.batcher.drain() if replica.batcher else []:
+            books.pending[i] -= 1
+            if books.drop[i] > 0:
+                books.drop[i] -= 1
+                continue
+            lost.append(i)
+        for batch in replica.in_flight:
+            for pos, i in enumerate(batch.indices):
+                if books.attempt[i] == batch.tokens[pos]:
+                    lost.append(i)
+        replica.crash(now)
+        seen: set[int] = set()
+        for i in lost:
+            if i in seen:
+                continue
+            seen.add(i)
+            # Crash cancels every attempt of the request (a hedge twin
+            # elsewhere dies with it) and re-routes instantly, matching
+            # the naive engine's crash semantics.
+            books.attempt[i] += 1
+            if books.pending[i]:
+                books.drop[i] += books.pending[i]
+                books.pending[i] = 0
+            self._scrub(i)
+            log.retries[i] += 1
+            self._route(i, now)
 
     def _handle_recover(self, replica_id: int, now: float) -> None:
         replica = self.replicas[replica_id]
@@ -685,21 +838,196 @@ class Cluster:
             self._push(now + self.autoscaler.config.interval_s, _EV_TICK, None)
 
     # ------------------------------------------------------------------ #
+    # faults + resilience
+    # ------------------------------------------------------------------ #
+    def _scrub(self, i: int) -> None:
+        """Reset a request's log record to the never-served state."""
+        log = self._books.log
+        log.completion_s[i] = float("nan")
+        log.dispatch_s[i] = float("nan")
+        log.route[i] = ROUTE_BATCHED
+        log.requested_route[i] = ROUTE_BATCHED
+        log.batch_size[i] = 0
+        log.replica_id[i] = -1
+
+    def _handle_fault(self, fault) -> None:
+        """Apply one typed fault-state change to its replica."""
+        replica = self.replicas[fault.replica_id]
+        if fault.kind == SLOWDOWN:
+            replica.slow_factor = fault.magnitude
+        elif fault.kind == FLAKY:
+            replica.flaky_p = fault.magnitude
+        # PARTITION/HEAL act through the precomputed static intervals
+        # (response deferral in _dispatch); no replica state to mutate.
+
+    def _handle_timeout(self, payload: tuple[int, int, int], now: float) -> None:
+        """A per-attempt timer fired: cancel the attempt, maybe retry."""
+        i, token, replica_id = payload
+        books = self._books
+        if books.attempt[i] != token:
+            return  # the attempt completed or was cancelled in time
+        log = books.log
+        log.timed_out[i] += 1
+        books.attempt[i] += 1
+        if books.pending[i]:
+            books.drop[i] += books.pending[i]
+            books.pending[i] = 0
+        self._scrub(i)
+        self.policy.observe(replica_id, now, ok=False)
+        retry = self.resilience.retry
+        retries = int(log.retries[i])
+        if retry.allows(retries):
+            u = float(self._fault_rng.random())
+            self._push(now + retry.delay_s(retries + 1, u), _EV_RETRY, i)
+
+    def _handle_retry(self, i: int, now: float) -> None:
+        """Backoff elapsed: dispatch the request's next attempt."""
+        self._books.log.retries[i] += 1
+        self._route(i, now)
+
+    def _handle_hedge(self, payload: tuple[int, int, int], now: float) -> None:
+        """Hedge delay elapsed with no response: race a second replica."""
+        i, token, primary_id = payload
+        books = self._books
+        if books.attempt[i] != token:
+            return  # already answered (or cancelled) — no hedge needed
+        # The twin shares the primary's attempt token: whichever response
+        # lands first wins and invalidates the other.  No twin is sent
+        # when the primary's replica is the only routable one.
+        if self._route_to(i, now, exclude=primary_id) is not None:
+            books.log.hedged[i] = True
+
+    def _judge_success(self, replica: Replica, batch: InFlightBatch) -> None:
+        """A batch responded: finalize the log for still-live attempts.
+
+        Requests whose attempt token moved on since dispatch (timed out,
+        hedge-won elsewhere, crash-re-routed) drop their response here —
+        a cancelled attempt can never overwrite its winner.
+        """
+        books = self._books
+        log = books.log
+        attempt = books.attempt
+        decision = batch.decision
+        size = len(batch.indices)
+        for pos, i in enumerate(batch.indices):
+            if attempt[i] != batch.tokens[pos]:
+                # A cancelled attempt never feeds the breaker an outcome,
+                # but it may have consumed a half-open probe slot at
+                # choose time — release it so the breaker can't wedge.
+                self.policy.void(replica.replica_id)
+                continue
+            attempt[i] += 1  # the win invalidates outstanding timers
+            if books.pending[i]:  # cancel a hedge twin still queued
+                books.drop[i] += books.pending[i]
+                books.pending[i] = 0
+            log.completion_s[i] = batch.completion_s
+            log.dispatch_s[i] = batch.start_s
+            log.batch_size[i] = size
+            log.replica_id[i] = replica.replica_id
+            if decision is not None:
+                log.route[i] = ROUTE_EASY if decision.easy[pos] else ROUTE_HARD
+            else:
+                log.route[i] = ROUTE_BATCHED
+            # One outcome per request, not per batch: probe accounting
+            # must balance the per-request note_probe at choose time.
+            self.policy.observe(
+                replica.replica_id,
+                batch.completion_s,
+                ok=True,
+                latency_s=batch.completion_s - batch.start_s,
+            )
+
+    def _judge_failure(
+        self, replica: Replica, batch: InFlightBatch, now: float
+    ) -> None:
+        """A batch's response was a failure (flaky / unhealed partition).
+
+        Naive fleets lose the requests outright; resilient ones feed the
+        breaker and schedule backed-off retries within the budget.
+        """
+        books = self._books
+        log = books.log
+        resil = self.resilience
+        if resil is None:
+            for i in batch.indices:
+                if (
+                    log.completion_s[i] == batch.completion_s
+                    and log.replica_id[i] == replica.replica_id
+                ):
+                    self._scrub(i)
+            return
+        retry = resil.retry
+        for pos, i in enumerate(batch.indices):
+            if books.attempt[i] != batch.tokens[pos]:
+                self.policy.void(replica.replica_id)
+                continue
+            books.attempt[i] += 1
+            if books.pending[i]:
+                books.drop[i] += books.pending[i]
+                books.pending[i] = 0
+            self._scrub(i)
+            self.policy.observe(replica.replica_id, batch.completion_s, ok=False)
+            retries = int(log.retries[i])
+            if retry.allows(retries):
+                u = float(self._fault_rng.random())
+                delay = retry.delay_s(retries + 1, u)
+                self._push(max(now, batch.completion_s + delay), _EV_RETRY, i)
+
+    # ------------------------------------------------------------------ #
     # dispatch
     # ------------------------------------------------------------------ #
     def _route(self, i: int, now: float) -> None:
-        ups = self.up_replicas()
-        if not ups:
+        replica = self._route_to(i, now)
+        if replica is None:
             self._books.stranded.append(i)
             return
+        resil = self.resilience
+        if resil is not None:
+            token = int(self._books.attempt[i])
+            self._push(
+                now + resil.timeout_s, _EV_TIMEOUT, (i, token, replica.replica_id)
+            )
+            if resil.hedge_delay_s is not None:
+                self._push(
+                    now + resil.hedge_delay_s,
+                    _EV_HEDGE,
+                    (i, token, replica.replica_id),
+                )
+
+    def _route_to(self, i: int, now: float, exclude: int | None = None) -> Replica | None:
+        ups = self.up_replicas()
+        if exclude is not None:
+            ups = [r for r in ups if r.replica_id != exclude]
+        if not ups:
+            return None
         replica = self.policy.choose(ups, now, self.rng)
         replica.batcher.add(i, now, int(self._books.log.req_class[i]))
+        if self._books.pending is not None:
+            self._books.pending[i] += 1
         if replica.should_dispatch(now):
             self._dispatch(replica, replica.batcher.flush(), now)
+        return replica
 
     def _dispatch(self, replica: Replica, indices: list[int], flush_s: float) -> None:
         books = self._books
         log = books.log
+        if books.drop is not None and indices:
+            # Cancelled-while-queued copies die at the flush boundary:
+            # each drop marker swallows one queued copy of its request.
+            drop, pending = books.drop, books.pending
+            kept = []
+            for i in indices:
+                if drop[i] > 0:
+                    drop[i] -= 1
+                    # The dead copy consumed a choose() on this replica;
+                    # release the probe slot it may have held.
+                    self.policy.void(replica.replica_id)
+                else:
+                    pending[i] -= 1
+                    kept.append(i)
+            indices = kept
+            if not indices:
+                return
         # One list→array conversion reused by every fancy-index op.
         idx = np.asarray(indices, dtype=np.intp)
         decision = replica.backend.route(books.images[idx])
@@ -710,7 +1038,9 @@ class Cluster:
             log.requested_route[idx] = np.where(decision.easy, ROUTE_EASY, ROUTE_HARD)
         else:
             log.requested_route[idx] = ROUTE_BATCHED
-        if decision is not None and self.admission is not None:
+        if decision is not None and (
+            self.admission is not None or self._degrader is not None
+        ):
             degraded = log.degraded
             forced = [pos for pos, i in enumerate(indices) if degraded[i]]
             if forced:
@@ -721,13 +1051,35 @@ class Cluster:
                 )
         n_hard = decision.n_hard if decision is not None else 0
         service = replica.backend.batch_service_s(len(indices), n_hard)
+        if replica.slow_factor != 1.0:
+            service *= replica.slow_factor
         start = max(flush_s, replica.worker_free_s)
-        completion = start + service
+        work_done = start + service
+        completion = work_done
+        failed = False
+        spans = self._partitions.get(replica.replica_id)
+        if spans is not None:
+            for span_start, span_end in spans:
+                if span_start <= work_done < span_end:
+                    if math.isinf(span_end):
+                        failed = True  # never heals: the response is lost
+                    else:
+                        completion = span_end  # withheld until the heal
+                    break
+        if replica.flaky_p > 0.0 and self._fault_rng.random() < replica.flaky_p:
+            failed = True
         batch = InFlightBatch(
             indices=tuple(indices),
             decision=decision,
             start_s=start,
             completion_s=completion,
+            work_done_s=work_done if completion != work_done else None,
+            failed=failed,
+            tokens=(
+                tuple(int(books.attempt[i]) for i in indices)
+                if books.attempt is not None
+                else None
+            ),
         )
         replica.commit(batch)
         log.completion_s[idx] = completion
@@ -764,9 +1116,22 @@ class Cluster:
         """
         prediction = books.log.prediction
         images = books.images
+        guarded = self.resilience is not None
+        replica_col = books.log.replica_id
+        completion_col = books.log.completion_s
         for replica, batch in books.finished:
             idx = np.asarray(batch.indices, dtype=np.intp)
-            prediction[idx] = replica.backend.predict(images[idx], batch.decision)
+            preds = replica.backend.predict(images[idx], batch.decision)
+            if guarded:
+                # Only requests whose final record is *this* batch take
+                # its predictions — a cancelled attempt's (late, lost)
+                # response must not overwrite the winner's.
+                mask = (replica_col[idx] == replica.replica_id) & (
+                    completion_col[idx] == batch.completion_s
+                )
+                prediction[idx[mask]] = preds[mask]
+            else:
+                prediction[idx] = preds
         books.log.fill_cached_predictions()
 
     def _report(
@@ -839,5 +1204,13 @@ class Cluster:
                 per_class_reports(log, self.classes, labels)
                 if self.classes is not None
                 else ()
+            ),
+            n_timed_out=int((log.timed_out > 0).sum()),
+            n_hedged=int(log.hedged.sum()),
+            n_batch_failures=self._n_batch_failures,
+            n_breaker_trips=(
+                self.policy.n_trips
+                if isinstance(self.policy, ResilientBalancer)
+                else 0
             ),
         )

@@ -20,8 +20,14 @@ __all__ = ["CRASH", "RECOVER", "FailureEvent", "crash_window", "poisson_failures
 CRASH = "crash"
 RECOVER = "recover"
 
+#: Same-timestamp tie-break: a crash lands before a recover at the same
+#: instant (and before the work that would have ridden the doomed
+#: replica).  Explicit ranks, so event order never depends on how the
+#: kind strings happen to compare lexicographically.
+_KIND_RANK = {CRASH: 0, RECOVER: 1}
 
-@dataclass(frozen=True, order=True)
+
+@dataclass(frozen=True)
 class FailureEvent:
     """One scheduled lifecycle fault: ``kind`` hits ``replica_id`` at ``time_s``."""
 
@@ -36,6 +42,13 @@ class FailureEvent:
             raise ValueError(f"replica_id must be >= 0, got {self.replica_id}")
         if self.kind not in (CRASH, RECOVER):
             raise ValueError(f"kind must be {CRASH!r} or {RECOVER!r}, got {self.kind!r}")
+
+    def sort_key(self) -> tuple[float, int, int]:
+        """Deterministic ordering: time, then replica, then explicit rank."""
+        return (self.time_s, self.replica_id, _KIND_RANK[self.kind])
+
+    def __lt__(self, other: "FailureEvent") -> bool:
+        return self.sort_key() < other.sort_key()
 
 
 def crash_window(

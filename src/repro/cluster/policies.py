@@ -21,6 +21,13 @@ is exactly the trade the fleet experiment measures:
 
 Ties break toward the lowest ``replica_id``, keeping every policy
 deterministic given the cluster's seeded RNG.
+
+:class:`ResilientBalancer` wraps any of the above with per-replica
+circuit breakers (:mod:`repro.faults.breaker`): replicas whose breakers
+are open are filtered out of the candidate set before the inner policy
+chooses, which is how breaker-driven ejection lives *inside* the
+balancer rather than as a separate routing stage.  The cluster engine
+installs it automatically when built with ``resilience=...``.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster.replica import Replica
+from repro.faults.breaker import CLOSED, BreakerConfig, CircuitBreaker
 
 __all__ = [
     "LoadBalancer",
@@ -35,6 +43,7 @@ __all__ = [
     "LeastOutstanding",
     "JoinShortestQueue",
     "PowerOfTwoChoices",
+    "ResilientBalancer",
     "POLICY_NAMES",
     "make_policy",
 ]
@@ -115,6 +124,78 @@ class PowerOfTwoChoices(LoadBalancer):
             return replicas[0]
         i, j = rng.choice(len(replicas), size=2, replace=False)
         return self._least([replicas[int(i)], replicas[int(j)]], lambda r: r.outstanding(now))
+
+
+class ResilientBalancer(LoadBalancer):
+    """Per-replica circuit breakers wrapped around any inner policy.
+
+    Keeps one :class:`~repro.faults.breaker.CircuitBreaker` per replica
+    id, fed by the cluster engine (:meth:`observe`) with attempt
+    outcomes — batch completions succeed, timeout fires and batch
+    failures fail.  ``choose`` filters the candidate set down to
+    replicas whose breakers admit traffic (closed, or half-open with a
+    probe slot free) before delegating to the inner policy; if *every*
+    candidate is ejected it falls back to the full set — a fleet with
+    nothing but tripped breakers still routes rather than stranding
+    requests (availability over breaker purity).
+    """
+
+    def __init__(
+        self, inner: LoadBalancer, config: BreakerConfig | None = None
+    ) -> None:
+        self.inner = inner
+        self.config = config if config is not None else BreakerConfig()
+        self.breakers: dict[int, CircuitBreaker] = {}
+        self.name = f"resilient+{inner.name}"
+
+    def _breaker(self, replica_id: int) -> CircuitBreaker:
+        breaker = self.breakers.get(replica_id)
+        if breaker is None:
+            breaker = self.breakers[replica_id] = CircuitBreaker(self.config)
+        return breaker
+
+    def choose(
+        self, replicas: list[Replica], now: float, rng: np.random.Generator
+    ) -> Replica:
+        """Inner policy's pick among breaker-admitted replicas."""
+        admitted = [
+            r for r in replicas if self._breaker(r.replica_id).available(now)
+        ]
+        chosen = self.inner.choose(admitted or replicas, now, rng)
+        self.breakers[chosen.replica_id].note_probe()
+        return chosen
+
+    def observe(
+        self, replica_id: int, now: float, ok: bool, latency_s: float = 0.0
+    ) -> None:
+        """Feed one attempt outcome into the replica's breaker."""
+        self._breaker(replica_id).record(now, ok, latency_s)
+
+    def void(self, replica_id: int) -> None:
+        """An attempt on this replica was cancelled before any outcome
+        (copy dropped at a flush, or its response lost a hedge race):
+        release the probe slot it may have consumed."""
+        self._breaker(replica_id).void_probe()
+
+    def open_fraction(self, replica_ids: list[int]) -> float:
+        """Fraction of the given replicas whose breakers are not closed.
+
+        This is the degradation controller's pressure signal; replicas
+        the balancer has never routed to count as closed.
+        """
+        if not replica_ids:
+            return 0.0
+        n_open = sum(
+            1
+            for rid in replica_ids
+            if rid in self.breakers and self.breakers[rid].state != CLOSED
+        )
+        return n_open / len(replica_ids)
+
+    @property
+    def n_trips(self) -> int:
+        """Total breaker trips across the fleet (for the report)."""
+        return sum(b.n_trips for b in self.breakers.values())
 
 
 POLICY_NAMES: tuple[str, ...] = (

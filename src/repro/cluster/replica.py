@@ -54,12 +54,29 @@ class InFlightBatch:
     worker was still busy); ``completion_s = start_s + service``.  A
     crash before ``completion_s`` cancels the batch and its requests are
     re-dispatched by the cluster.
+
+    Under fault injection (:mod:`repro.faults`) the response can detach
+    from the work: ``work_done_s`` is when the worker actually frees
+    (``None`` means ``completion_s``, the default healthy case), while
+    ``completion_s`` is when the *response* lands — later than the work
+    when a partition defers it.  ``failed`` marks a flaky batch whose
+    response is a failure; ``tokens`` carries each request's attempt
+    token at dispatch so the engine can tell a live attempt's response
+    from a cancelled one's.
     """
 
     indices: tuple[int, ...]
     decision: RouteDecision | None
     start_s: float
     completion_s: float
+    work_done_s: float | None = None
+    failed: bool = False
+    tokens: tuple[int, ...] | None = None
+
+    @property
+    def worker_end_s(self) -> float:
+        """When the worker frees (work end, not response arrival)."""
+        return self.completion_s if self.work_done_s is None else self.work_done_s
 
 
 @dataclass
@@ -103,6 +120,10 @@ class Replica:
     n_batches: int = 0
     n_requests: int = 0
     n_crashes: int = 0
+    #: Fault state (set by the engine's fault events): service-time
+    #: multiplier (1.0 = nominal) and per-batch failure probability.
+    slow_factor: float = 1.0
+    flaky_p: float = 0.0
     #: Provisioning epoch: bumped on every provision() so stale
     #: warm-up-complete events from an earlier epoch can be ignored.
     generation: int = 0
@@ -147,8 +168,8 @@ class Replica:
     def commit(self, batch: InFlightBatch) -> None:
         """Record one dispatched batch and occupy the worker."""
         self.in_flight.append(batch)
-        self.worker_free_s = batch.completion_s
-        self.busy_s += batch.completion_s - batch.start_s
+        self.worker_free_s = batch.worker_end_s
+        self.busy_s += batch.worker_end_s - batch.start_s
         self.last_completion_s = max(self.last_completion_s, batch.completion_s)
         self.n_batches += 1
         self.n_requests += len(batch.indices)
@@ -220,8 +241,9 @@ class Replica:
             # Roll back the commit-time billing for the part of the
             # batch that never ran: only work executed before the crash
             # counts as busy, and the cancelled completion must not leak
-            # into drain/bill_to accounting.
-            self.busy_s -= batch.completion_s - max(now, batch.start_s)
+            # into drain/bill_to accounting.  (A partition-deferred batch
+            # whose work already finished rolls back nothing.)
+            self.busy_s -= max(0.0, batch.worker_end_s - max(now, batch.start_s))
         self.in_flight = []
         self.last_completion_s = min(self.last_completion_s, now)
         self._close_books(now)

@@ -10,6 +10,7 @@ Examples
     cbnet-experiment serve --fast --scenario bursty
     cbnet-experiment fleet --fast
     cbnet-experiment tenants --fast
+    cbnet-experiment chaos --fast
     cbnet-experiment offload --fast --link lte
     cbnet-experiment all --fast
 """
@@ -25,6 +26,7 @@ from repro.experiments.ablations import (
     run_hard_fraction_sweep,
     run_threshold_sweep,
 )
+from repro.experiments.chaos import run_chaos_comparison
 from repro.experiments.common import DATASETS
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig5 import run_fig5
@@ -57,6 +59,7 @@ def main(argv: list[str] | None = None) -> int:
             "serve",
             "fleet",
             "tenants",
+            "chaos",
             "offload",
             "report",
             "all",
@@ -158,6 +161,15 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment in ("tenants", "all"):
         emit(
             run_tenants_comparison(
+                fast=args.fast,
+                seed=args.seed,
+                dataset=args.dataset or "mnist",
+                live=args.live,
+            ).render()
+        )
+    if args.experiment in ("chaos", "all"):
+        emit(
+            run_chaos_comparison(
                 fast=args.fast,
                 seed=args.seed,
                 dataset=args.dataset or "mnist",

@@ -17,11 +17,16 @@ split is worth it:
   runs stay deterministic);
 * **loss/retry** — each attempt fails with ``loss_rate``; a failed
   attempt occupies the link for its serialization time plus a
-  retransmit timeout of one RTT before the next try.
+  retransmit timeout (one RTT, growing geometrically under
+  ``retry_backoff_mult``) before the next try, under an explicit
+  ``max_attempts`` budget.
 
 Bandwidth can additionally degrade over (virtual) time via a
 trace-driven step function (:class:`BandwidthTrace`) — the "walking
-from wifi into the parking garage" scenario.
+from wifi into the parking garage" scenario — and the link can be cut
+outright over declared ``outages`` windows (the edge↔cloud partition of
+:mod:`repro.faults`): :meth:`NetworkLink.next_available` defers any
+transfer that would start inside one to the window's end.
 
 Presets (:func:`ethernet`, :func:`wifi`, :func:`lte`) are calibrated to
 typical last-hop numbers; :func:`network_links` returns all three keyed
@@ -44,7 +49,7 @@ __all__ = [
     "network_links",
 ]
 
-_MAX_ATTEMPTS = 8  # retransmit cap: transfers always eventually deliver
+_MAX_ATTEMPTS = 8  # default retransmit budget: transfers always deliver
 
 
 @dataclass(frozen=True)
@@ -128,6 +133,19 @@ class NetworkLink:
     degradation:
         Optional :class:`BandwidthTrace` scaling both directions over
         virtual time.
+    max_attempts:
+        Explicit retry budget per transfer (first attempt included).
+        The historical behaviour — up to 8 immediate-timeout attempts —
+        is the default.
+    retry_backoff_mult:
+        Geometric growth of the retransmit timeout: attempt ``k`` waits
+        ``rtt_s * retry_backoff_mult**(k-1)`` before retrying.  1.0
+        (default) reproduces the historical fixed one-RTT timeout.
+    outages:
+        Declared ``(start_s, end_s)`` windows during which the link is
+        cut (an edge↔cloud partition).  Transfers never start inside a
+        window — callers defer via :meth:`next_available` — mirroring
+        the balancer↔replica partitions of :mod:`repro.faults`.
     """
 
     name: str
@@ -138,6 +156,9 @@ class NetworkLink:
     loss_rate: float = 0.0
     tx_power_w: float = 0.0
     degradation: BandwidthTrace | None = field(default=None)
+    max_attempts: int = _MAX_ATTEMPTS
+    retry_backoff_mult: float = 1.0
+    outages: tuple[tuple[float, float], ...] = ()
 
     def __post_init__(self) -> None:
         if self.uplink_mbps <= 0 or self.downlink_mbps <= 0:
@@ -150,10 +171,44 @@ class NetworkLink:
             raise ValueError(f"{self.name}: rtt/jitter/tx_power must be non-negative")
         if not 0.0 <= self.loss_rate < 1.0:
             raise ValueError(f"{self.name}: loss_rate must be in [0, 1), got {self.loss_rate}")
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"{self.name}: max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.retry_backoff_mult < 1.0:
+            raise ValueError(
+                f"{self.name}: retry_backoff_mult must be >= 1, "
+                f"got {self.retry_backoff_mult}"
+            )
+        last_end = -float("inf")
+        for start, end in self.outages:
+            if end <= start:
+                raise ValueError(
+                    f"{self.name}: outage window ({start}, {end}) must have end > start"
+                )
+            if start < last_end:
+                raise ValueError(
+                    f"{self.name}: outage windows must be sorted and non-overlapping"
+                )
+            last_end = end
 
     # ------------------------------------------------------------------ #
     # deterministic components
     # ------------------------------------------------------------------ #
+    def next_available(self, time_s: float) -> float:
+        """Earliest instant >= ``time_s`` outside every outage window.
+
+        Transfers must not *start* inside an outage; a start exactly at
+        a window's end is fine (windows are half-open ``[start, end)``).
+        Windows are sorted and disjoint, so one forward scan suffices.
+        """
+        for start, end in self.outages:
+            if time_s < start:
+                break
+            if time_s < end:
+                time_s = end
+        return time_s
+
     def bandwidth_scale(self, time_s: float) -> float:
         """Degradation multiplier in effect at ``time_s``."""
         return 1.0 if self.degradation is None else self.degradation.scale_at(time_s)
@@ -209,9 +264,17 @@ class NetworkLink:
         tx = self.serialization_s(n_bytes, time_s, direction)
         attempts = 1
         if rng is not None and self.loss_rate > 0.0:
-            while attempts < _MAX_ATTEMPTS and rng.random() < self.loss_rate:
+            while attempts < self.max_attempts and rng.random() < self.loss_rate:
                 attempts += 1
-        occupancy = attempts * tx + (attempts - 1) * self.rtt_s
+        # Each failed attempt k (1-based) pays its serialization plus a
+        # retransmit timeout of rtt * mult**(k-1); mult == 1.0 reduces to
+        # the historical (attempts - 1) * rtt exactly.
+        if self.retry_backoff_mult == 1.0:
+            timeouts = (attempts - 1) * self.rtt_s
+        else:
+            mult = self.retry_backoff_mult
+            timeouts = self.rtt_s * (mult ** (attempts - 1) - 1.0) / (mult - 1.0)
+        occupancy = attempts * tx + timeouts
         propagation = self.rtt_s / 2.0
         if rng is not None and self.jitter_s > 0.0:
             propagation += float(rng.exponential(self.jitter_s))

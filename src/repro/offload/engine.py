@@ -154,12 +154,25 @@ class OffloadReport:
     edge_utilization: float
     edge_energy_j: float
     radio_energy_j: float
+    n_retransmits: int = 0  # lossy-link re-sends, uplink + downlink combined
     accuracy: float = float("nan")
     cloud_report: object | None = field(default=None, repr=False)
 
     @property
     def offload_rate(self) -> float:
         return self.n_offloaded / self.n_requests if self.n_requests else 0.0
+
+    @property
+    def retry_amplification(self) -> float:
+        """Link sends per offloaded request beyond the lossless baseline.
+
+        1.0 means every payload delivered first try; 1.25 means a quarter
+        of the offloads paid one extra (bounded, backed-off) transmission
+        somewhere on their round trip.
+        """
+        if not self.n_offloaded:
+            return 1.0
+        return 1.0 + self.n_retransmits / self.n_offloaded
 
     @property
     def uplink_mb(self) -> float:
@@ -199,6 +212,7 @@ def offload_comparison_table(reports: list[OffloadReport], title: str = "") -> T
             "edge (ms)",
             "net (ms)",
             "cloud (ms)",
+            "retx",
             "mJ/req",
             "acc",
         ],
@@ -217,6 +231,7 @@ def offload_comparison_table(reports: list[OffloadReport], title: str = "") -> T
             f"{r.edge_mean_s * 1e3:.2f}",
             "-" if np.isnan(r.network_mean_s) else f"{r.network_mean_s * 1e3:.2f}",
             "-" if np.isnan(r.cloud_mean_s) else f"{r.cloud_mean_s * 1e3:.2f}",
+            f"{r.retry_amplification:.2f}x",
             f"{r.energy_mj_per_request:.2f}",
             "-" if np.isnan(r.accuracy) else f"{r.accuracy:.1%}",
         )
@@ -387,6 +402,7 @@ class EdgeTier:
         edge_busy = 0.0
         radio_busy = 0.0
         uplink_bytes_total = 0
+        n_retransmits = 0
         ship: list[tuple[int, float, float]] = []  # (req, ship_ready_s, cloud_arrival_s)
 
         for i in range(n):
@@ -434,20 +450,25 @@ class EdgeTier:
             # jitter are sampled (seed-deterministic).
             outcome[i] = _OFFLOADED
             edge_part[i] = ready - arrival
-            tx_start = max(ready, uplink_free)
+            # A declared link outage defers the start (the radio waits it
+            # out); retransmits within a transfer are bounded by the
+            # link's max_attempts budget and surfaced in the report.
+            tx_start = self.link.next_available(max(ready, uplink_free))
             transfer = self.link.transfer(up_bytes, time_s=tx_start, rng=self.rng)
             uplink_free = tx_start + transfer.occupancy_s
             # Radio energy covers serialization attempts only — the
             # retransmit-timeout gaps inside occupancy_s are idle air.
             radio_busy += transfer.tx_s
             uplink_bytes_total += up_bytes
+            n_retransmits += transfer.attempts - 1
             cloud_arrival = uplink_free + transfer.propagation_s
             ship.append((i, ready, cloud_arrival))
 
         self._run_local_hard(images, outcome, predictions)
-        cloud_report = self._run_cloud(
+        cloud_report, down_retransmits = self._run_cloud(
             images, ship, down_bytes, completion, predictions, net_part, cloud_part, scenario
         )
+        n_retransmits += down_retransmits
 
         accuracy = float("nan")
         if labels is not None:
@@ -460,6 +481,7 @@ class EdgeTier:
             net_part,
             cloud_part,
             uplink_bytes_total,
+            n_retransmits,
             edge_busy,
             radio_busy,
             accuracy,
@@ -486,7 +508,7 @@ class EdgeTier:
     ):
         """Ship payloads, serve them upstream, ride the downlink back."""
         if not ship:
-            return None
+            return None, 0
         order = sorted(range(len(ship)), key=lambda k: ship[k][2])
         req_ids = [ship[k][0] for k in order]
         ready_s = np.array([ship[k][1] for k in order])
@@ -518,18 +540,20 @@ class EdgeTier:
         ]
         finished.sort()
         downlink_free = 0.0
+        n_retransmits = 0
         for cloud_done, pos, req_id in finished:
-            tx_start = max(cloud_done, downlink_free)
+            tx_start = self.link.next_available(max(cloud_done, downlink_free))
             transfer = self.link.transfer(
                 down_bytes, time_s=tx_start, rng=self.rng, direction="down"
             )
             downlink_free = tx_start + transfer.occupancy_s
+            n_retransmits += transfer.attempts - 1
             done = downlink_free + transfer.propagation_s
             completion[req_id] = done
             predictions[req_id] = cloud_log.prediction[pos]
             cloud_part[req_id] = cloud_done - cloud_arrival[pos]
             net_part[req_id] = (cloud_arrival[pos] - ready_s[pos]) + (done - cloud_done)
-        return report
+        return report, n_retransmits
 
     def _decode(self, raw: np.ndarray) -> np.ndarray:
         """Wire round-trip of one payload batch.
@@ -555,6 +579,7 @@ class EdgeTier:
         net_part,
         cloud_part,
         uplink_bytes_total,
+        n_retransmits,
         edge_busy,
         radio_busy,
         accuracy,
@@ -612,6 +637,7 @@ class EdgeTier:
             edge_utilization=edge_busy / makespan if makespan > 0 else 0.0,
             edge_energy_j=energy_joules(self.edge_device, edge_busy),
             radio_energy_j=self.link.tx_power_w * radio_busy,
+            n_retransmits=int(n_retransmits),
             accuracy=accuracy,
             cloud_report=cloud_report,
         )

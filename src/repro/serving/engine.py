@@ -20,11 +20,18 @@ arrival trace against a model backend on a *virtual clock*:
 
 Bookkeeping rides the structure-of-arrays
 :class:`~repro.sim.records.RequestLog` (one NumPy column per outcome
-field), so the hot loop is heap pops plus array writes and the report is
+field — including the resilience columns ``retries``/``timed_out``/
+``hedged`` written by the fleet engine under :mod:`repro.faults`), so
+the hot loop is heap pops plus array writes and the report is
 vectorized reductions.  Everything observable lands in a
 :class:`ServingReport` (throughput, sojourn percentiles, cache hit rate,
 batch-size histogram, accuracy) that renders through
 :mod:`repro.eval.tables` and feeds the combined experiment report.
+
+A single ``Server`` never injects faults itself — degraded-mode
+behaviour (slowdowns, partitions, flaky batches, timeouts, hedging,
+circuit breakers) lives one layer up in :mod:`repro.cluster` +
+:mod:`repro.faults`, where there are replicas to fail over between.
 """
 
 from __future__ import annotations

@@ -70,6 +70,13 @@ class Request:
         Multi-tenant request-class code
         (:class:`~repro.serving.classes.ClassSet` index); 0 in
         single-class runs.
+    timed_out:
+        Fleet serving with a resilience layer
+        (:class:`repro.faults.ResilienceConfig`): how many of this
+        request's attempts were cancelled by the per-attempt timeout.
+    hedged:
+        Fleet serving: a speculative second attempt was dispatched for
+        this request (first response won; the loser was cancelled).
     """
 
     req_id: int
@@ -85,6 +92,8 @@ class Request:
     dispatch_s: float = field(default=float("nan"))
     requested_route: str = Route.BATCHED
     req_class: int = 0
+    timed_out: int = 0
+    hedged: bool = False
 
     @property
     def sojourn_s(self) -> float:

@@ -63,6 +63,8 @@ class RequestLog:
         "degraded",
         "retries",
         "req_class",
+        "timed_out",
+        "hedged",
     )
 
     def __init__(self, arrival_s: np.ndarray) -> None:
@@ -79,6 +81,8 @@ class RequestLog:
         self.degraded = np.zeros(n, dtype=bool)
         self.retries = np.zeros(n, dtype=np.int32)
         self.req_class = np.zeros(n, dtype=np.int8)
+        self.timed_out = np.zeros(n, dtype=np.int32)
+        self.hedged = np.zeros(n, dtype=bool)
 
     def __len__(self) -> int:
         return self.arrival_s.shape[0]
@@ -112,7 +116,7 @@ class RequestLog:
         routes = self.route.tolist()
         req_routes = self.requested_route.tolist()
         out = []
-        for i, (arr, comp, disp, pred, batch, src, rep, deg, ret, cls) in enumerate(
+        for i, (arr, comp, disp, pred, batch, src, rep, deg, ret, cls, t_o, hed) in enumerate(
             zip(
                 self.arrival_s.tolist(),
                 self.completion_s.tolist(),
@@ -124,6 +128,8 @@ class RequestLog:
                 self.degraded.tolist(),
                 self.retries.tolist(),
                 self.req_class.tolist(),
+                self.timed_out.tolist(),
+                self.hedged.tolist(),
             )
         ):
             out.append(
@@ -141,6 +147,8 @@ class RequestLog:
                     degraded=deg,
                     retries=ret,
                     req_class=cls,
+                    timed_out=t_o,
+                    hedged=hed,
                 )
             )
         return out

@@ -1,0 +1,179 @@
+"""Randomized fault storms for the chaos-invariant harness.
+
+Mirrors ``tests/scheduling/``: every test runs against
+:func:`make_scenario` traces — a toy fleet (pixel-sum models, so
+predictions are checkable and free), a Poisson trace, and a seeded
+:func:`~repro.faults.fault_storm` of slowdowns, partitions, flaky
+windows, and crash/recover cycles.  The generator randomizes fleet
+size, service rates, batching knobs, load, and the storm itself — the
+invariants must hold for *all* of them, not for one tuned storm.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster import Cluster
+from repro.faults import (
+    BreakerConfig,
+    FaultPlan,
+    ResilienceConfig,
+    RetryPolicy,
+    fault_storm,
+    hedge_delay_for,
+)
+from repro.serving.arrivals import poisson_arrivals
+from repro.serving.backends import BatchTiming, InferenceBackend
+from repro.sim import oracle_backend
+
+N_POOL = 48
+
+
+class SumBackend(InferenceBackend):
+    """Deterministic toy model: label = pixel-sum mod 10."""
+
+    name = "sum"
+
+    def __init__(self, per_item_s=0.001, overhead_s=0.001):
+        super().__init__(BatchTiming(overhead_s=overhead_s, per_item_s=per_item_s))
+
+    def predict(self, images, decision=None):
+        return (images.reshape(images.shape[0], -1).sum(axis=1)).astype(np.int64) % 10
+
+
+@dataclass
+class Scenario:
+    """One randomized trace + fault storm, plus everything to replay it."""
+
+    seed: int
+    images: np.ndarray
+    labels: np.ndarray
+    ids: np.ndarray
+    arrival_s: np.ndarray
+    per_item: tuple
+    max_batch: int
+    max_wait_s: float
+    plan: FaultPlan
+
+    @property
+    def n(self) -> int:
+        return len(self.ids)
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.per_item)
+
+    def backends(self):
+        """A fresh toy fleet (one backend per replica)."""
+        return [SumBackend(per_item_s=p) for p in self.per_item]
+
+    def service_scale_s(self) -> float:
+        """Worst-case healthy batch time — the yardstick for timeouts."""
+        backends = self.backends()
+        return self.max_wait_s + max(
+            b.mean_service_s(batch_size=self.max_batch) * self.max_batch
+            for b in backends
+        )
+
+
+def make_scenario(seed, n_requests=None, crashes=True) -> Scenario:
+    """Build one randomized trace with a seeded mixed fault storm."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(300, 600)) if n_requests is None else n_requests
+    n_replicas = int(rng.integers(2, 5))  # >= 2: hedging needs a second replica
+    per_item = tuple(float(rng.uniform(0.0004, 0.0012)) for _ in range(n_replicas))
+    max_batch = int(rng.choice([4, 8, 16]))
+    max_wait_s = float(rng.uniform(0.002, 0.006))
+    backends = [SumBackend(per_item_s=p) for p in per_item]
+    capacity = sum(1.0 / b.mean_service_s(batch_size=max_batch) for b in backends)
+    load = float(rng.uniform(0.5, 0.9))  # chaos, not overload, is the stressor
+
+    images = rng.random((N_POOL, 1, 4, 4)).astype(np.float32)
+    labels = (images.reshape(N_POOL, -1).sum(axis=1)).astype(np.int64) % 10
+    ids = rng.integers(0, N_POOL, size=n)
+    arrival_s = poisson_arrivals(load * capacity, n, rng=rng)
+    horizon = float(arrival_s[-1]) + 0.05
+    plan = fault_storm(
+        n_replicas,
+        horizon,
+        rng=rng,
+        mean_window_s=horizon / 8.0,
+        crash_mtbf_s=4.0 * horizon if crashes else None,
+        crash_mttr_s=horizon / 6.0 if crashes else None,
+    )
+    return Scenario(
+        seed=seed,
+        images=images,
+        labels=labels,
+        ids=ids,
+        arrival_s=arrival_s,
+        per_item=per_item,
+        max_batch=max_batch,
+        max_wait_s=max_wait_s,
+        plan=plan,
+    )
+
+
+def resilience_for(sc: Scenario, hedging=True) -> ResilienceConfig:
+    """Resilience knobs scaled to the scenario's healthy service times.
+
+    The timeout sits a few healthy-batch-times out: far enough that a
+    healthy replica never trips it, close enough that a 4–16× straggler
+    or an unhealed partition does.
+    """
+    tick = sc.service_scale_s()
+    return ResilienceConfig(
+        timeout_s=6.0 * tick,
+        retry=RetryPolicy(
+            max_retries=2,
+            base_backoff_s=sc.max_wait_s,
+            backoff_mult=2.0,
+            max_backoff_s=4.0 * sc.max_wait_s,
+            jitter_frac=0.25,
+        ),
+        hedge_delay_s=(
+            hedge_delay_for(sc.backends(), sc.max_batch, sc.max_wait_s)
+            if hedging
+            else None
+        ),
+        breaker=BreakerConfig(
+            window_s=8.0 * tick,
+            min_samples=6,
+            error_threshold=0.5,
+            cooldown_s=4.0 * tick,
+            half_open_probes=2,
+        ),
+    )
+
+
+def build_cluster(
+    sc: Scenario,
+    resilient: bool = True,
+    oracle: bool = False,
+    faults: bool = True,
+    hedging: bool = True,
+) -> Cluster:
+    """Assemble one chaos arm: same storm, with or without defences."""
+    backends = sc.backends()
+    if oracle:
+        backends = [oracle_backend(b, sc.images) for b in backends]
+    return Cluster(
+        backends,
+        policy="least-outstanding",
+        faults=sc.plan if faults else None,
+        resilience=resilience_for(sc, hedging=hedging) if resilient else None,
+        slo_s=4.0 * sc.service_scale_s(),
+        max_batch_size=sc.max_batch,
+        max_wait_s=sc.max_wait_s,
+        cache_capacity=0,
+        rng=sc.seed,
+    )
+
+
+def run_scenario(sc, resilient=True, oracle=False, faults=True, hedging=True):
+    """Serve one chaos arm; returns (report, SoA request log)."""
+    cluster = build_cluster(
+        sc, resilient=resilient, oracle=oracle, faults=faults, hedging=hedging
+    )
+    stream = sc.ids if oracle else sc.images[sc.ids]
+    return cluster.serve_log(stream, sc.arrival_s, labels=sc.labels[sc.ids])

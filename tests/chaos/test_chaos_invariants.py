@@ -1,0 +1,123 @@
+"""Property tests: resilience invariants under randomized fault storms.
+
+Each invariant is checked across 20 randomized chaos schedules (fleet
+size, service rates, load, and the slowdown/partition/flaky/crash storm
+all vary):
+
+* **conservation** — every request ends in exactly one terminal state
+  (served, shed, or unserved), and the log's terminal fields are
+  coherent per state;
+* **no response after cancellation** — a timed-out attempt's response
+  never lands: a request served after ``k`` timeouts must have waited
+  out all ``k`` timeout windows first, and an unserved request's log is
+  fully scrubbed;
+* **bounded retry amplification** — attempts per request never exceed
+  the explicit retry budget plus one re-route per fleet crash, so a
+  fault storm cannot melt the fleet with its own retries.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import build_cluster, make_scenario, resilience_for, run_scenario
+
+from repro.sim.records import ROUTE_SHED
+
+SEEDS = range(20)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("resilient", [True, False])
+def test_request_conservation(seed, resilient):
+    sc = make_scenario(seed)
+    report, log = run_scenario(sc, resilient=resilient)
+
+    assert report.n_requests == sc.n
+    assert report.n_served + report.n_shed + report.n_unserved == sc.n
+
+    served = log.done
+    shed = log.route == ROUTE_SHED
+    assert not (served & shed).any()  # at most one terminal state
+    assert int(served.sum()) == report.n_served
+    assert int(shed.sum()) == report.n_shed
+
+    # Served rows carry a full, ordered timeline on a real replica.
+    assert np.isfinite(log.dispatch_s[served]).all()
+    assert (log.arrival_s[served] <= log.dispatch_s[served]).all()
+    assert (log.dispatch_s[served] < log.completion_s[served]).all()
+    assert (log.replica_id[served] >= 0).all()
+    assert (log.batch_size[served] >= 1).all()
+
+    # Unserved rows are scrubbed: no half-written timeline survives.
+    unserved = ~served & ~shed
+    assert np.isnan(log.completion_s[unserved]).all()
+    assert np.isnan(log.dispatch_s[unserved]).all()
+    assert (log.replica_id[unserved] == -1).all()
+    assert (log.batch_size[unserved] == 0).all()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_no_response_after_cancellation(seed):
+    """A cancelled attempt's (earlier, faster) response must never land.
+
+    If it did, a request with ``k`` timed-out attempts could complete in
+    less than ``k`` timeout windows.  Every served row must instead show
+    the full wait: each counted timeout fired a whole ``timeout_s`` after
+    its attempt was routed, and routes are sequential.
+    """
+    sc = make_scenario(seed)
+    resilience = resilience_for(sc)
+    report, log = run_scenario(sc, resilient=True)
+
+    timed = log.timed_out > 0
+    assert report.n_timed_out == int(timed.sum())
+    served_after_timeout = timed & log.done
+    floor = log.timed_out[served_after_timeout] * resilience.timeout_s
+    assert (log.sojourn_s[served_after_timeout] >= floor).all()
+
+    # Exhausted budgets end scrubbed, not half-answered.
+    exhausted = timed & ~log.done
+    assert np.isnan(log.completion_s[exhausted]).all()
+    assert (log.replica_id[exhausted] == -1).all()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_bounded_retry_amplification(seed):
+    """The storm cannot amplify load unboundedly through retries."""
+    sc = make_scenario(seed)
+    resilience = resilience_for(sc)
+    _, log = run_scenario(sc, resilient=True)
+
+    n_crashes = sum(1 for e in sc.plan.failures if e.kind == "crash")
+    budget = resilience.retry.max_retries
+    assert int(log.retries.max(initial=0)) <= budget + n_crashes
+    # Each attempt times out at most once, and there is at most one
+    # attempt beyond the last counted retry.
+    assert (log.timed_out <= log.retries + 1).all()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_hedge_needs_a_second_replica(seed):
+    """Hedged requests really ran a speculative twin: the flag only ever
+    appears when the fleet had somewhere else to send it, and hedging is
+    accounted in the report."""
+    sc = make_scenario(seed)
+    report, log = run_scenario(sc, resilient=True)
+    assert report.n_hedged == int(log.hedged.sum())
+    if sc.n_replicas == 1:
+        assert report.n_hedged == 0
+
+
+def test_quiet_fleet_needs_no_defences():
+    """With no faults, resilience must be a no-op observable-wise: no
+    timeouts, no trips, nothing shed, everything served."""
+    sc = make_scenario(3, crashes=False)
+    cluster = build_cluster(sc, resilient=True, faults=False, hedging=False)
+    report, log = cluster.serve_log(
+        sc.images[sc.ids], sc.arrival_s, labels=sc.labels[sc.ids]
+    )
+    assert report.n_served == sc.n
+    assert report.n_timed_out == 0
+    assert report.n_breaker_trips == 0
+    assert report.n_batch_failures == 0
+    assert (log.retries == 0).all()

@@ -1,0 +1,75 @@
+"""Oracle-vs-live parity under random fault storms.
+
+The precomputed-oracle contract (``tests/sim``, ``tests/scheduling``)
+must survive the messiest path in the codebase: timeouts, hedges,
+retries, breaker ejections, flaky failures, partitions, and crashes all
+replay *field for field* identically whether predictions come from live
+inference or the precomputed table — 20 random schedules, every SoA
+column compared exactly.
+"""
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+
+from conftest import make_scenario, run_scenario
+
+SEEDS = range(20)
+
+_COLUMNS = (
+    "arrival_s",
+    "completion_s",
+    "dispatch_s",
+    "prediction",
+    "route",
+    "requested_route",
+    "batch_size",
+    "replica_id",
+    "degraded",
+    "retries",
+    "req_class",
+    "timed_out",
+    "hedged",
+)
+
+
+def assert_log_equal(live, orc):
+    """Column-by-column SoA equality with NaN == NaN."""
+    for name in _COLUMNS:
+        a, b = getattr(live, name), getattr(orc, name)
+        assert np.array_equal(a, b, equal_nan=a.dtype.kind == "f"), name
+
+
+def assert_report_equal(live, orc, skip=()):
+    """Field-by-field dataclass equality with NaN == NaN."""
+    assert type(live) is type(orc)
+    for f in dataclasses.fields(live):
+        if f.name in skip:
+            continue
+        a, b = getattr(live, f.name), getattr(orc, f.name)
+        if isinstance(a, float) and math.isnan(a):
+            assert isinstance(b, float) and math.isnan(b), f.name
+        else:
+            assert a == b, f"{f.name}: live={a!r} oracle={b!r}"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_chaos_parity(seed):
+    sc = make_scenario(seed)
+    live_report, live_log = run_scenario(sc, resilient=True, oracle=False)
+    orc_report, orc_log = run_scenario(sc, resilient=True, oracle=True)
+    assert_log_equal(live_log, orc_log)
+    assert_report_equal(live_report, orc_report)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:6])
+def test_naive_arm_parity_too(seed):
+    """The undefended arm (faults, no resilience) replays identically as
+    well — the chaos experiment's baseline is as deterministic as its
+    hero."""
+    sc = make_scenario(seed)
+    _, live_log = run_scenario(sc, resilient=False, oracle=False)
+    _, orc_log = run_scenario(sc, resilient=False, oracle=True)
+    assert_log_equal(live_log, orc_log)

@@ -1,0 +1,101 @@
+"""Chaos experiment smoke: run_chaos_comparison on a toy fleet, including
+the acceptance assertion — under one seeded storm the resilient arm
+strictly beats the naive arm on availability AND interactive p99 SLO."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.chaos import run_chaos_comparison
+from repro.serving.backends import BatchTiming, InferenceBackend
+
+
+class ToyBackend(InferenceBackend):
+    """Constant-rate toy model: label = pixel-sum mod 10."""
+
+    name = "toy"
+
+    def __init__(self, per_item_s=0.0008):
+        super().__init__(BatchTiming(overhead_s=0.001, per_item_s=per_item_s))
+
+    def predict(self, images, decision=None):
+        return (images.reshape(images.shape[0], -1).sum(axis=1)).astype(np.int64) % 10
+
+
+@pytest.fixture(scope="module")
+def toy_chaos():
+    rng = np.random.default_rng(0)
+    images = rng.random((64, 1, 4, 4)).astype(np.float32)
+    labels = (images.reshape(64, -1).sum(axis=1)).astype(np.int64) % 10
+    return run_chaos_comparison(
+        seed=0,
+        n_requests=1500,
+        backends=[ToyBackend() for _ in range(4)],
+        images=images,
+        labels=labels,
+    )
+
+
+class TestArmsShareTheStorm:
+    def test_same_trace_both_arms(self, toy_chaos):
+        n, r = toy_chaos.naive, toy_chaos.resilient
+        assert n.n_requests == r.n_requests == 1500
+        assert n.arrival_rate_hz == pytest.approx(r.arrival_rate_hz)
+        assert n.slo_s == pytest.approx(r.slo_s)
+
+    def test_storm_has_every_fault_kind(self, toy_chaos):
+        kinds = {f.kind for f in toy_chaos.plan.faults}
+        assert {"slowdown", "partition", "flaky", "heal"} <= kinds
+        assert any(e.kind == "crash" for e in toy_chaos.plan.failures)
+
+    def test_deterministic_given_seed(self, toy_chaos):
+        rng = np.random.default_rng(0)
+        images = rng.random((64, 1, 4, 4)).astype(np.float32)
+        labels = (images.reshape(64, -1).sum(axis=1)).astype(np.int64) % 10
+        again = run_chaos_comparison(
+            seed=0,
+            n_requests=1500,
+            backends=[ToyBackend() for _ in range(4)],
+            images=images,
+            labels=labels,
+        )
+        assert again.plan == toy_chaos.plan
+        assert again.resilient == toy_chaos.resilient
+        assert again.naive == toy_chaos.naive
+
+
+class TestAcceptance:
+    def test_resilient_strictly_beats_naive(self, toy_chaos):
+        n, r = toy_chaos.naive, toy_chaos.resilient
+        assert r.availability > n.availability
+        assert r.slo_attainment > n.slo_attainment
+
+    def test_naive_actually_suffered(self, toy_chaos):
+        """The win must be over a storm that really hurt: the naive arm
+        lost requests and failed batches."""
+        n = toy_chaos.naive
+        assert n.n_unserved > 0
+        assert n.n_batch_failures > 0
+        assert n.availability < 1.0
+
+    def test_defences_actually_fired(self, toy_chaos):
+        r = toy_chaos.resilient
+        assert r.n_retried > 0
+        assert r.n_hedged > 0
+        assert r.n_breaker_trips > 0
+
+    def test_toy_predictions_really_ran(self, toy_chaos):
+        assert toy_chaos.resilient.accuracy == 1.0
+
+
+class TestRender:
+    def test_render_mentions_both_arms_and_the_headline(self, toy_chaos):
+        text = toy_chaos.render()
+        assert "naive" in text
+        assert "resilient" in text
+        assert "availability" in text
+        assert "p99 SLO" in text
+
+    def test_storm_summary_counts(self, toy_chaos):
+        summary = toy_chaos.storm_summary()
+        assert "flaky" in summary and "crash" in summary
+        assert f"storm seed {toy_chaos.plan.seed}" in summary

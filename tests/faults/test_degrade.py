@@ -1,0 +1,75 @@
+"""Unit tests for the degradation ladder controller."""
+
+import pytest
+
+from repro.faults import (
+    MODE_DEGRADE,
+    MODE_FULL,
+    MODE_SHED,
+    DegradationConfig,
+    DegradationController,
+)
+
+
+def make_controller(dwell_s=0.1, degrade=0.25, shed=0.5) -> DegradationController:
+    return DegradationController(
+        DegradationConfig(degrade_pressure=degrade, shed_pressure=shed, dwell_s=dwell_s)
+    )
+
+
+class TestConfigValidation:
+    def test_shed_below_degrade_rejected(self):
+        with pytest.raises(ValueError, match="shed_pressure"):
+            DegradationConfig(degrade_pressure=0.5, shed_pressure=0.25)
+
+    def test_degrade_pressure_bounds(self):
+        with pytest.raises(ValueError, match="degrade_pressure"):
+            DegradationConfig(degrade_pressure=0.0)
+
+    def test_negative_dwell_rejected(self):
+        with pytest.raises(ValueError, match="dwell_s"):
+            DegradationConfig(dwell_s=-1.0)
+
+
+class TestLadder:
+    def test_starts_full_and_stays_under_low_pressure(self):
+        ctrl = make_controller()
+        assert ctrl.update(0.0, 0.0) == MODE_FULL
+        assert ctrl.update(1.0, 0.2) == MODE_FULL
+        assert ctrl.n_transitions == 0
+
+    def test_dwell_filters_blips(self):
+        ctrl = make_controller(dwell_s=0.1)
+        assert ctrl.update(0.0, 0.6) == MODE_FULL  # pressure noted, not acted on
+        assert ctrl.update(0.05, 0.0) == MODE_FULL  # blip over: pending cleared
+        assert ctrl.update(0.2, 0.6) == MODE_FULL  # new episode restarts the dwell
+        assert ctrl.update(0.25, 0.6) == MODE_FULL
+        assert ctrl.update(0.31, 0.6) == MODE_DEGRADE
+
+    def test_walks_one_rung_at_a_time(self):
+        """full -> shed always passes through degrade, one dwell per rung."""
+        ctrl = make_controller(dwell_s=0.1)
+        ctrl.update(0.0, 0.9)
+        assert ctrl.update(0.1, 0.9) == MODE_DEGRADE
+        assert ctrl.update(0.15, 0.9) == MODE_DEGRADE  # second dwell not yet served
+        assert ctrl.update(0.2, 0.9) == MODE_SHED
+        assert ctrl.n_transitions == 2
+
+    def test_recovers_back_up_the_ladder(self):
+        ctrl = make_controller(dwell_s=0.1)
+        ctrl.update(0.0, 0.9)
+        ctrl.update(0.1, 0.9)
+        ctrl.update(0.2, 0.9)
+        assert ctrl.mode == MODE_SHED
+        ctrl.update(0.3, 0.0)
+        assert ctrl.update(0.41, 0.0) == MODE_DEGRADE
+        assert ctrl.update(0.52, 0.0) == MODE_FULL
+
+    def test_zero_dwell_reacts_immediately_but_still_stepwise(self):
+        ctrl = make_controller(dwell_s=0.0)
+        assert ctrl.update(0.0, 0.9) == MODE_DEGRADE
+        assert ctrl.update(0.0, 0.9) == MODE_SHED
+
+    def test_open_frac_validated(self):
+        with pytest.raises(ValueError, match="open_frac"):
+            make_controller().update(0.0, 1.5)

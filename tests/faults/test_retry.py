@@ -1,0 +1,64 @@
+"""Unit tests for the jittered exponential-backoff retry budget."""
+
+import pytest
+
+from repro.faults import RetryPolicy
+
+
+class TestValidation:
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+
+    def test_mult_below_one_rejected(self):
+        with pytest.raises(ValueError, match="backoff_mult"):
+            RetryPolicy(backoff_mult=0.5)
+
+    def test_cap_below_base_rejected(self):
+        with pytest.raises(ValueError, match="max_backoff_s"):
+            RetryPolicy(base_backoff_s=0.1, max_backoff_s=0.01)
+
+    def test_jitter_bounds(self):
+        with pytest.raises(ValueError, match="jitter_frac"):
+            RetryPolicy(jitter_frac=1.5)
+
+
+class TestBudget:
+    def test_allows_counts_retries_not_attempts(self):
+        policy = RetryPolicy(max_retries=2)
+        assert policy.allows(0)
+        assert policy.allows(1)
+        assert not policy.allows(2)
+
+    def test_zero_budget_disables_retries(self):
+        assert not RetryPolicy(max_retries=0).allows(0)
+
+
+class TestDelay:
+    def test_exponential_growth_at_midpoint_draw(self):
+        policy = RetryPolicy(
+            base_backoff_s=0.01, backoff_mult=2.0, max_backoff_s=1.0, jitter_frac=0.5
+        )
+        # u=0.5 means zero jitter: the schedule is the pure exponential.
+        assert policy.delay_s(1, 0.5) == pytest.approx(0.01)
+        assert policy.delay_s(2, 0.5) == pytest.approx(0.02)
+        assert policy.delay_s(3, 0.5) == pytest.approx(0.04)
+
+    def test_cap_applies_before_jitter(self):
+        policy = RetryPolicy(
+            base_backoff_s=0.01, backoff_mult=10.0, max_backoff_s=0.05, jitter_frac=0.0
+        )
+        assert policy.delay_s(5, 0.5) == pytest.approx(0.05)
+
+    def test_jitter_spans_the_declared_band(self):
+        policy = RetryPolicy(base_backoff_s=0.1, jitter_frac=0.25)
+        assert policy.delay_s(1, 0.0) == pytest.approx(0.075)
+        assert policy.delay_s(1, 1.0) == pytest.approx(0.125)
+
+    def test_same_draw_same_delay(self):
+        policy = RetryPolicy()
+        assert policy.delay_s(2, 0.3) == policy.delay_s(2, 0.3)
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            RetryPolicy().delay_s(0, 0.5)

@@ -156,3 +156,67 @@ class TestPresets:
         links = network_links()
         links.pop("lte")
         assert "lte" in network_links()
+
+
+class TestRetryBudget:
+    def test_attempts_never_exceed_budget(self):
+        link = _link(loss_rate=0.9, max_attempts=3)
+        rng = np.random.default_rng(0)
+        transfers = [link.transfer(1000, rng=rng) for _ in range(128)]
+        assert max(t.attempts for t in transfers) <= 3
+        # With 90% loss a 3-attempt budget should actually hit the cap.
+        assert any(t.attempts == 3 for t in transfers)
+
+    def test_single_attempt_budget_never_retransmits(self):
+        link = _link(loss_rate=0.9, max_attempts=1)
+        rng = np.random.default_rng(1)
+        assert all(link.transfer(100, rng=rng).attempts == 1 for _ in range(32))
+
+    def test_default_backoff_matches_legacy_occupancy(self):
+        """retry_backoff_mult=1.0 must be bit-identical to the old
+        (attempts - 1) * rtt retransmit cost."""
+        flat = _link(loss_rate=0.5)
+        rng = np.random.default_rng(2)
+        for _ in range(64):
+            t = flat.transfer(1000, rng=rng)
+            tx = t.tx_s / t.attempts
+            assert t.occupancy_s == t.attempts * tx + (t.attempts - 1) * flat.rtt_s
+
+    def test_geometric_backoff_occupancy(self):
+        """With mult=2 the timeout sum is rtt * (2^(n-1) - 1)."""
+        link = _link(loss_rate=0.9, max_attempts=4, retry_backoff_mult=2.0)
+        rng = np.random.default_rng(3)
+        transfers = (link.transfer(1000, rng=rng) for _ in range(256))
+        t = next(t for t in transfers if t.attempts == 4)
+        tx = t.tx_s / t.attempts
+        expected = 4 * tx + link.rtt_s * (2.0 ** 3 - 1.0)
+        assert t.occupancy_s == pytest.approx(expected)
+        # Backoff makes the lossy path strictly slower than flat timeouts.
+        assert t.occupancy_s > 4 * tx + 3 * link.rtt_s
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            _link(max_attempts=0)
+        with pytest.raises(ValueError, match="retry_backoff_mult"):
+            _link(retry_backoff_mult=0.9)
+
+
+class TestOutages:
+    def test_next_available_defers_into_gap(self):
+        link = _link(outages=((1.0, 2.0), (5.0, 6.5)))
+        assert link.next_available(0.5) == 0.5
+        assert link.next_available(1.0) == 2.0
+        assert link.next_available(1.9) == 2.0
+        assert link.next_available(2.0) == 2.0  # half-open: end is usable
+        assert link.next_available(5.5) == 6.5
+        assert link.next_available(7.0) == 7.0
+
+    def test_no_outages_is_identity(self):
+        link = _link()
+        assert link.next_available(3.25) == 3.25
+
+    def test_outage_validation(self):
+        with pytest.raises(ValueError, match="outage"):
+            _link(outages=((2.0, 1.0),))
+        with pytest.raises(ValueError, match="outage"):
+            _link(outages=((1.0, 3.0), (2.0, 4.0)))  # overlapping

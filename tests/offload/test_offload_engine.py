@@ -258,3 +258,56 @@ class TestCodecsAndDegradation:
         text = offload_comparison_table([report], "toy").render()
         assert "entropy-gated" in text
         assert report.summary().startswith("[entropy-gated")
+
+
+class TestRetransmitAccounting:
+    def test_lossless_link_reports_unit_amplification(self, branchy, stream):
+        images, arrival_s, labels = stream
+        link = replace(wifi(), loss_rate=0.0)
+        report = _tier(branchy, AlwaysRemote(), link=link).serve(
+            images, arrival_s, labels=labels
+        )
+        assert report.n_retransmits == 0
+        assert report.retry_amplification == pytest.approx(1.0)
+
+    def test_lossy_link_surfaces_retransmits(self, branchy, stream):
+        images, arrival_s, labels = stream
+        lossy = replace(wifi(), loss_rate=0.5)
+        report = _tier(branchy, AlwaysRemote(), link=lossy).serve(
+            images, arrival_s, labels=labels
+        )
+        assert report.n_retransmits > 0
+        expected = 1.0 + report.n_retransmits / report.n_offloaded
+        assert report.retry_amplification == pytest.approx(expected)
+
+    def test_budget_caps_amplification(self, branchy, stream):
+        """max_attempts bounds the worst-case retry amplification."""
+        images, arrival_s, labels = stream
+        capped = replace(wifi(), loss_rate=0.9, max_attempts=2)
+        report = _tier(branchy, AlwaysRemote(), link=capped).serve(
+            images, arrival_s, labels=labels
+        )
+        # Each offload makes two transfers (uplink + downlink), each
+        # capped at max_attempts - 1 retransmits.
+        assert report.retry_amplification <= 3.0 + 1e-9
+        uncapped = replace(wifi(), loss_rate=0.9)
+        worse = _tier(branchy, AlwaysRemote(), link=uncapped).serve(
+            images, arrival_s, labels=labels
+        )
+        assert worse.retry_amplification > report.retry_amplification
+
+    def test_local_only_policy_never_retransmits(self, branchy, stream):
+        images, arrival_s, labels = stream
+        lossy = replace(wifi(), loss_rate=0.5)
+        report = _tier(branchy, AlwaysLocal(), link=lossy).serve(
+            images, arrival_s, labels=labels
+        )
+        assert report.n_retransmits == 0
+        assert report.retry_amplification == pytest.approx(1.0)
+
+    def test_comparison_table_shows_retx_column(self, branchy, stream):
+        images, arrival_s, labels = stream
+        report = _tier(branchy, AlwaysRemote()).serve(images, arrival_s, labels=labels)
+        table = str(offload_comparison_table([report]))
+        assert "retx" in table
+        assert f"{report.retry_amplification:.2f}x" in table

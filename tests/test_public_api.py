@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.serving",
     "repro.sim",
     "repro.cluster",
+    "repro.faults",
     "repro.offload",
     "repro.eval",
     "repro.experiments",

@@ -40,8 +40,9 @@ REPO = Path(__file__).resolve().parents[1]
 #: kernels (conv/GEMM/pooling + fastpath inference), the serving engine
 #: (throughput / tail latency of the batched server), the fleet cluster
 #: (end-to-end policy grid + autoscaler + failure studies), the offload
-#: layer (split sweep + policy grid + codec study), and the
-#: million-request scale bench over the oracle simulation core.
+#: layer (split sweep + policy grid + codec study), the
+#: million-request scale bench over the oracle simulation core, and the
+#: million-request chaos storm through the resilience layer.
 DEFAULT_SUITES = (
     "benchmarks/test_substrate_kernels.py",
     "benchmarks/test_serving_engine.py",
@@ -49,6 +50,7 @@ DEFAULT_SUITES = (
     "benchmarks/test_offload_split.py",
     "benchmarks/test_million_requests.py",
     "benchmarks/test_tenants_scheduling.py",
+    "benchmarks/test_chaos_resilience.py",
 )
 
 _BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")

@@ -39,6 +39,7 @@ REQUIRED_DOCS = (
     "docs/offload.md",
     "docs/sim.md",
     "docs/scheduling.md",
+    "docs/robustness.md",
 )
 
 
