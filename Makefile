@@ -11,6 +11,8 @@
 #                     batcher, FIFO-vs-priority experiment on toy fleets
 #   make chaos-smoke  robustness smoke: chaos invariants under random fault
 #                     storms, fault/breaker/retry units, chaos experiment
+#   make obs-smoke    observability smoke: span-tree well-formedness,
+#                     metrics/SLO units, oracle-vs-live telemetry parity
 #   make bench-smoke  fast benchmark subset, incl. the serving engine
 #   make bench        full benchmark suite (regenerates benchmarks/results/)
 #   make bench-record record BENCH_<n>.json medians (substrate + serving)
@@ -23,7 +25,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test fleet-smoke offload-smoke sim-smoke tenants-smoke chaos-smoke bench-smoke bench bench-record bench-check docs-check docs-run lint
+.PHONY: test fleet-smoke offload-smoke sim-smoke tenants-smoke chaos-smoke obs-smoke bench-smoke bench bench-record bench-check docs-check docs-run lint
 
 test:
 	$(PYTHON) -m pytest tests -x -q
@@ -49,6 +51,11 @@ tenants-smoke:
 chaos-smoke:
 	$(PYTHON) -m pytest tests/chaos tests/faults \
 	    tests/experiments/test_chaos.py -q
+
+# tests/obs also carries its own conftest.py (see the chaos-smoke note),
+# so it gets a standalone invocation.
+obs-smoke:
+	$(PYTHON) -m pytest tests/obs -q
 
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/test_table1_architecture.py \

@@ -47,6 +47,17 @@ from repro.eval.metrics import latency_percentiles
 from repro.faults.degrade import MODE_DEGRADE, MODE_SHED, DegradationController
 from repro.faults.plan import FLAKY, SLOWDOWN, FaultPlan
 from repro.faults.resilience import ResilienceConfig
+from repro.obs.spans import (
+    EV_BATCH_FAIL,
+    EV_BREAKER_TRIP,
+    EV_CRASH as _OBS_CRASH,
+    EV_FAULT as _OBS_FAULT,
+    EV_HEDGE as _OBS_HEDGE,
+    EV_RECOVER as _OBS_RECOVER,
+    EV_RETRY as _OBS_RETRY,
+    EV_SCALE as _OBS_SCALE,
+    EV_TIMEOUT as _OBS_TIMEOUT,
+)
 from repro.eval.tables import Table
 from repro.serving.backends import InferenceBackend
 from repro.serving.cache import LRUResultCache
@@ -67,9 +78,12 @@ from repro.sim.records import (
     ROUTE_SHED,
     RequestLog,
 )
+from repro.utils.logging import get_logger
 from repro.utils.rng import as_generator
 
 __all__ = ["Cluster", "ClusterReport", "fleet_comparison_table"]
+
+logger = get_logger("cluster.engine")
 
 # Event kinds, in tie-breaking order at equal timestamps: a replica that
 # finishes warming at t may serve the arrival at t; crashes hit before
@@ -283,6 +297,14 @@ class Cluster:
         Multi-tenant flush discipline per replica: ``"priority"`` or
         ``"fifo"`` (the class-blind control arm).  Ignored without
         ``classes``.
+    obs:
+        Optional :class:`~repro.obs.observer.Observer`.  When set, every
+        dispatched batch becomes a span, every crash/fault/timeout/
+        retry/hedge/breaker-trip/scale event an instant span row, and
+        the finished run is finalized into per-request spans, windowed
+        metrics, and SLO burn rates.  Observers are single-use — like
+        the cluster itself, one per trace.  ``None`` (default) records
+        nothing; the hooks cost one ``is None`` test each.
     """
 
     def __init__(
@@ -303,6 +325,7 @@ class Cluster:
         rng: np.random.Generator | int | None = 0,
         classes: ClassSet | None = None,
         scheduler: str = "priority",
+        obs=None,
     ) -> None:
         if not backends:
             raise ValueError("a cluster needs at least one replica backend")
@@ -369,6 +392,8 @@ class Cluster:
         self.rng = as_generator(rng)
         self.classes = classes
         self.scheduler = scheduler
+        self.obs = obs
+        self._last_trips = 0
         self.replicas = [
             Replica(i, b, max_batch_size, max_wait_s, classes=classes, scheduler=scheduler)
             for i, b in enumerate(backends)
@@ -627,7 +652,10 @@ class Cluster:
         self._advance(math.inf)
 
         self._fill_predictions(books)
-        return self._report(books, arrival_s, labels, scenario), books.log
+        report = self._report(books, arrival_s, labels, scenario)
+        if self.obs is not None:
+            self.obs.finalize(books.log, classes=self.classes, slo_s=self.slo_s)
+        return report, books.log
 
     # ------------------------------------------------------------------ #
     # event plumbing
@@ -731,6 +759,8 @@ class Cluster:
             if mode == MODE_SHED:
                 log.route[i] = ROUTE_SHED
                 log.requested_route[i] = ROUTE_SHED
+                if self.obs is not None:
+                    self.obs.on_shed(now)
                 return
             if mode == MODE_DEGRADE:
                 log.degraded[i] = True
@@ -744,6 +774,8 @@ class Cluster:
             if verdict == REJECT:
                 log.route[i] = ROUTE_SHED
                 log.requested_route[i] = ROUTE_SHED
+                if self.obs is not None:
+                    self.obs.on_shed(now)
                 return
             if verdict == DEGRADE:
                 log.degraded[i] = True
@@ -769,6 +801,8 @@ class Cluster:
         replica = self.replicas[replica_id]
         if replica.state == ReplicaState.DOWN:
             return
+        if self.obs is not None:
+            self.obs.on_event(_OBS_CRASH, now, replica_id)
         books = self._books
         log = books.log
         if self.resilience is None:
@@ -814,12 +848,21 @@ class Cluster:
         replica = self.replicas[replica_id]
         if replica.state != ReplicaState.DOWN:
             return
+        if self.obs is not None:
+            self.obs.on_event(_OBS_RECOVER, now, replica_id)
         replica.provision(now)
         self._push(now + self.recover_warmup_s, _EV_UP, (replica_id, replica.generation))
 
     def _handle_tick(self, now: float, arrivals_left: int = 0) -> None:
         books = self._books
-        self.autoscaler.tick(self, now)
+        decision = self.autoscaler.tick(self, now)
+        if decision is not None:
+            logger.debug(
+                "autoscaler decided %r at t=%.6fs (%d live replicas)",
+                decision, now, len(self.live_replicas()),
+            )
+            if self.obs is not None:
+                self.obs.on_event(_OBS_SCALE, now)
         settled = (
             not arrivals_left
             and not books.stranded
@@ -852,6 +895,8 @@ class Cluster:
 
     def _handle_fault(self, fault) -> None:
         """Apply one typed fault-state change to its replica."""
+        if self.obs is not None:
+            self.obs.on_event(_OBS_FAULT, fault.time_s, fault.replica_id)
         replica = self.replicas[fault.replica_id]
         if fault.kind == SLOWDOWN:
             replica.slow_factor = fault.magnitude
@@ -873,7 +918,10 @@ class Cluster:
             books.drop[i] += books.pending[i]
             books.pending[i] = 0
         self._scrub(i)
+        if self.obs is not None:
+            self.obs.on_event(_OBS_TIMEOUT, now, replica_id, i)
         self.policy.observe(replica_id, now, ok=False)
+        self._note_breaker(replica_id, now)
         retry = self.resilience.retry
         retries = int(log.retries[i])
         if retry.allows(retries):
@@ -882,6 +930,8 @@ class Cluster:
 
     def _handle_retry(self, i: int, now: float) -> None:
         """Backoff elapsed: dispatch the request's next attempt."""
+        if self.obs is not None:
+            self.obs.on_event(_OBS_RETRY, now, req=i)
         self._books.log.retries[i] += 1
         self._route(i, now)
 
@@ -896,6 +946,8 @@ class Cluster:
         # when the primary's replica is the only routable one.
         if self._route_to(i, now, exclude=primary_id) is not None:
             books.log.hedged[i] = True
+            if self.obs is not None:
+                self.obs.on_event(_OBS_HEDGE, now, primary_id, i)
 
     def _judge_success(self, replica: Replica, batch: InFlightBatch) -> None:
         """A batch responded: finalize the log for still-live attempts.
@@ -948,6 +1000,8 @@ class Cluster:
         books = self._books
         log = books.log
         resil = self.resilience
+        if self.obs is not None:
+            self.obs.on_event(EV_BATCH_FAIL, batch.completion_s, replica.replica_id)
         if resil is None:
             for i in batch.indices:
                 if (
@@ -967,11 +1021,32 @@ class Cluster:
                 books.pending[i] = 0
             self._scrub(i)
             self.policy.observe(replica.replica_id, batch.completion_s, ok=False)
+            self._note_breaker(replica.replica_id, batch.completion_s)
             retries = int(log.retries[i])
             if retry.allows(retries):
                 u = float(self._fault_rng.random())
                 delay = retry.delay_s(retries + 1, u)
                 self._push(max(now, batch.completion_s + delay), _EV_RETRY, i)
+
+    def _note_breaker(self, replica_id: int, now: float) -> None:
+        """After an ok=False observation: did the breaker just trip?
+
+        ``ResilientBalancer.n_trips`` is monotone, so a delta against
+        the last seen total pins the trip to the failure that caused it
+        — one DEBUG line and one instant span per trip.
+        """
+        policy = self.policy
+        if not isinstance(policy, ResilientBalancer):
+            return
+        trips = policy.n_trips
+        if trips > self._last_trips:
+            self._last_trips = trips
+            logger.debug(
+                "circuit breaker tripped on replica %d at t=%.6fs (trip #%d)",
+                replica_id, now, trips,
+            )
+            if self.obs is not None:
+                self.obs.on_event(EV_BREAKER_TRIP, now, replica_id)
 
     # ------------------------------------------------------------------ #
     # dispatch
@@ -1082,6 +1157,11 @@ class Cluster:
             ),
         )
         replica.commit(batch)
+        if self.obs is not None:
+            self.obs.on_batch(
+                start, completion, replica.replica_id, len(indices),
+                queue_depth=len(replica.batcher),
+            )
         log.completion_s[idx] = completion
         log.dispatch_s[idx] = start
         log.batch_size[idx] = len(indices)

@@ -11,6 +11,7 @@ Examples
     cbnet-experiment fleet --fast
     cbnet-experiment tenants --fast
     cbnet-experiment chaos --fast
+    cbnet-experiment obs --fast --trace-out trace.json
     cbnet-experiment offload --fast --link lte
     cbnet-experiment all --fast
 """
@@ -31,6 +32,7 @@ from repro.experiments.common import DATASETS
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.fleet import FLEET_SCENARIOS, run_fleet_comparison
+from repro.experiments.obs import run_obs_study
 from repro.experiments.offload import run_offload_study
 from repro.experiments.scalability import run_scalability
 from repro.experiments.serve import SCENARIOS, run_serving_comparison
@@ -60,6 +62,7 @@ def main(argv: list[str] | None = None) -> int:
             "fleet",
             "tenants",
             "chaos",
+            "obs",
             "offload",
             "report",
             "all",
@@ -90,6 +93,13 @@ def main(argv: list[str] | None = None) -> int:
         help="processes for the fleet/offload experiment grids "
         "(default 1: serial, deterministic CI ordering; results are "
         "identical at any value)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the observability study's span log as Chrome "
+        "trace-event JSON for ui.perfetto.dev (obs only)",
     )
     parser.add_argument(
         "--live",
@@ -174,6 +184,16 @@ def main(argv: list[str] | None = None) -> int:
                 seed=args.seed,
                 dataset=args.dataset or "mnist",
                 live=args.live,
+            ).render()
+        )
+    if args.experiment in ("obs", "all"):
+        emit(
+            run_obs_study(
+                fast=args.fast,
+                seed=args.seed,
+                dataset=args.dataset or "mnist",
+                live=args.live,
+                trace_out=args.trace_out,
             ).render()
         )
     if args.experiment in ("offload", "all"):

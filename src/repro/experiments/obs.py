@@ -1,0 +1,207 @@
+"""Observability study: pinpoint a faulty replica from telemetry alone.
+
+The payoff demo for :mod:`repro.obs`: one replica of a resilient fleet
+is battered by a seeded storm — a straggler window, a flaky window, and
+a partition — while the other replicas stay healthy.  The cluster
+replays the trace with an :class:`~repro.obs.Observer` attached, and the
+study then names the faulty replica using **only** the collected
+telemetry (timeout/batch-failure/breaker-trip symptom events and batch
+latencies); the fault plan is consulted only afterwards, to grade the
+answer.  With ``--trace-out`` the finalized span log is also exported as
+Chrome trace-event JSON for ``ui.perfetto.dev``.
+
+Determinism mirrors the chaos experiment: identical arrivals, storm,
+and telemetry in oracle and ``--live`` modes, all from one seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.engine import Cluster, ClusterReport
+from repro.experiments.chaos import _default_fleet, resilience_for_fleet
+from repro.faults import (
+    FaultPlan,
+    flaky_window,
+    partition_window,
+    slowdown_window,
+)
+from repro.obs import Observer
+from repro.serving.arrivals import poisson_arrivals, zipf_popularity
+from repro.serving.backends import InferenceBackend
+from repro.sim import oracle_backend
+from repro.utils.rng import as_generator, derive_seed
+
+__all__ = ["ObsStudy", "run_obs_study"]
+
+
+def _storm_on(target: int, horizon_s: float, rng) -> FaultPlan:
+    """A seeded storm concentrated on one replica: straggle, flake, partition.
+
+    No crashes — a crashed replica is trivially identifiable — and no
+    collateral faults on other replicas, so the localization question
+    has exactly one right answer.  Window positions and magnitudes carry
+    seeded jitter, same idiom as the chaos storm.
+    """
+
+    def window(lo: float, hi: float) -> tuple[float, float]:
+        start = float(rng.uniform(lo, hi)) * horizon_s
+        duration = float(rng.uniform(0.12, 0.16)) * horizon_s
+        return start, duration
+
+    faults = []
+    at, dur = window(0.08, 0.12)
+    faults += slowdown_window(target, at, dur, float(rng.uniform(8.0, 14.0)))
+    at, dur = window(0.38, 0.42)
+    faults += flaky_window(target, at, dur, float(rng.uniform(0.4, 0.7)))
+    at, dur = window(0.68, 0.72)
+    faults += partition_window(target, at, dur)
+    return FaultPlan(faults=tuple(faults), seed=int(rng.integers(2**31 - 1)))
+
+
+@dataclass
+class ObsStudy:
+    """One telemetry-localization run: the verdict plus its evidence."""
+
+    dataset: str
+    n_requests: int
+    slo_s: float
+    plan: FaultPlan
+    target_replica: int
+    suspect_replica: int
+    report: ClusterReport
+    observer: Observer
+    trace_path: str | None = None
+    trace_events: int = 0
+
+    @property
+    def localized(self) -> bool:
+        """Did telemetry alone name the replica the storm targeted?"""
+        return self.suspect_replica == self.target_replica
+
+    def render(self) -> str:
+        """Per-replica telemetry table plus the localization verdict."""
+        lines = [
+            (
+                f"Observability study ({self.dataset}) — {self.n_requests} "
+                f"requests, interactive SLO {self.slo_s * 1e3:.0f} ms "
+                f"(storm seed {self.plan.seed})"
+            ),
+            f"{'replica':>8} {'batches':>8} {'mean batch':>11} {'symptoms':>9}",
+        ]
+        for rid in sorted(self.observer.replica_stats):
+            n_batches, total_s, n_fail = self.observer.replica_stats[rid]
+            mean_ms = 1e3 * total_s / n_batches if n_batches else 0.0
+            lines.append(f"{rid:>8d} {n_batches:>8d} {mean_ms:>9.2f} ms {n_fail:>9d}")
+        summary = self.observer.summary()
+        lines.append(
+            f"spans: {int(summary.get('spans', 0))}, SLO alerts: "
+            f"{int(summary.get('alerts', 0))}, worst burn rate: "
+            f"{summary.get('worst_burn', 0.0):.1f}x, availability: "
+            f"{self.report.availability:.1%}"
+        )
+        verdict = "LOCALIZED" if self.localized else "MISSED"
+        lines.append(
+            f"telemetry verdict: replica {self.suspect_replica} "
+            f"(injected target: replica {self.target_replica}) — {verdict}"
+        )
+        if self.trace_path is not None:
+            lines.append(
+                f"Chrome trace: {self.trace_events} events -> {self.trace_path} "
+                f"(open at ui.perfetto.dev)"
+            )
+        return "\n".join(lines)
+
+
+def run_obs_study(
+    fast: bool = True,
+    seed: int = 0,
+    dataset: str = "mnist",
+    n_requests: int | None = None,
+    backends: list[InferenceBackend] | None = None,
+    images: np.ndarray | None = None,
+    labels: np.ndarray | None = None,
+    live: bool = False,
+    trace_out: str | None = None,
+) -> ObsStudy:
+    """Replay one targeted storm with telemetry on; localize the victim.
+
+    The fleet runs with the full resilience stack so the storm surfaces
+    as *symptoms* (timeouts, failed batches, breaker trips) rather than
+    lost requests; the suspect is whatever
+    :meth:`~repro.obs.Observer.suspect_replicas` ranks first.  Pass toy
+    ``backends`` (plus ``images``/``labels``) to run without trained
+    models; ``live=True`` restores in-loop model calls with identical
+    telemetry.  ``trace_out`` writes the span log as Chrome trace JSON.
+    """
+    if backends is None:
+        backends, images, labels = _default_fleet(fast, seed, dataset)
+    elif images is None:
+        raise ValueError("a custom fleet needs explicit images (and labels)")
+    if n_requests is None:
+        n_requests = 2000 if fast else 8000
+    max_batch_size, max_wait_s = 8, 0.004
+
+    capacity = sum(1.0 / b.mean_service_s(batch_size=max_batch_size) for b in backends)
+    rate = 0.6 * capacity
+    arrival_s = poisson_arrivals(
+        rate,
+        n_requests,
+        rng=as_generator(derive_seed(seed, dataset, "obs-arrivals")),
+    )
+    stream_rng = as_generator(derive_seed(seed, dataset, "obs-stream"))
+    indices = zipf_popularity(len(images), n_requests, exponent=0.9, rng=stream_rng)
+    req_labels = labels[indices] if labels is not None else None
+    if live:
+        req_images = images[indices]
+    else:
+        backends = [oracle_backend(b, images) for b in backends]
+        req_images = indices
+
+    storm_rng = as_generator(derive_seed(seed, dataset, "obs-storm"))
+    target = int(storm_rng.integers(len(backends)))
+    horizon = float(arrival_s[-1]) + 0.05
+    plan = _storm_on(target, horizon, storm_rng)
+    resilience = resilience_for_fleet(backends, max_batch_size, max_wait_s)
+    slo_s = 4.0 * (
+        max_wait_s
+        + max(
+            b.mean_service_s(batch_size=max_batch_size) * max_batch_size
+            for b in backends
+        )
+    )
+
+    obs = Observer()
+    cluster = Cluster(
+        list(backends),
+        policy="least-outstanding",
+        faults=plan,
+        resilience=resilience,
+        slo_s=slo_s,
+        max_batch_size=max_batch_size,
+        max_wait_s=max_wait_s,
+        cache_capacity=0,
+        rng=derive_seed(seed, dataset, "obs-rng"),
+        obs=obs,
+    )
+    report = cluster.serve(req_images, arrival_s, labels=req_labels, scenario="obs")
+
+    # The verdict comes from telemetry alone; `target` is only the key.
+    suspect = obs.suspect_replicas(top=1)[0]
+    trace_events = 0
+    if trace_out is not None:
+        trace_events = obs.chrome_trace(trace_out)
+    return ObsStudy(
+        dataset=dataset,
+        n_requests=n_requests,
+        slo_s=slo_s,
+        plan=plan,
+        target_replica=target,
+        suspect_replica=suspect,
+        report=report,
+        observer=obs,
+        trace_path=trace_out,
+        trace_events=trace_events,
+    )

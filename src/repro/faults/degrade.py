@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.utils.logging import get_logger
+
 __all__ = [
     "MODE_FULL",
     "MODE_DEGRADE",
@@ -31,6 +33,8 @@ __all__ = [
 MODE_FULL = "full"
 MODE_DEGRADE = "degrade"
 MODE_SHED = "shed"
+
+logger = get_logger("faults.degrade")
 
 _LADDER = (MODE_FULL, MODE_DEGRADE, MODE_SHED)
 
@@ -103,8 +107,13 @@ class DegradationController:
             cur = _LADDER.index(self.mode)
             dst = _LADDER.index(target)
             cur += 1 if dst > cur else -1
+            previous = self.mode
             self.mode = _LADDER[cur]
             self.n_transitions += 1
+            logger.debug(
+                "degradation mode %s -> %s at t=%.6fs (breaker pressure %.2f)",
+                previous, self.mode, now, open_frac,
+            )
             self._pending_since_s = now
             if self.mode == target:
                 self._pending = None

@@ -42,10 +42,17 @@ from repro.hw.energy import energy_joules
 from repro.hw.flops import stage_cost
 from repro.hw.latency import branchynet_expected_latency
 from repro.hw.network import NetworkLink
+from repro.obs.spans import (
+    SPAN_CLOUD,
+    SPAN_DOWNLINK,
+    SPAN_EDGE_GATE,
+    SPAN_UPLINK,
+)
 from repro.offload.policies import OffloadContext, OffloadPolicy, TensorCodec
 from repro.serving.backends import BatchTiming, InferenceBackend
 from repro.serving.engine import Server
 from repro.serving.router import RouteDecision
+from repro.utils.logging import get_logger
 from repro.utils.rng import as_generator
 
 __all__ = [
@@ -57,6 +64,8 @@ __all__ = [
 ]
 
 _FLOAT32_BYTES = 4
+
+logger = get_logger("offload.engine")
 
 
 class RemoteTrunkBackend(InferenceBackend):
@@ -278,6 +287,12 @@ class EdgeTier:
         (:class:`~repro.offload.policies.TensorCodec`); the cloud serves
         the *decoded* tensors, so codec error reaches the accuracy
         column.
+    obs:
+        Optional :class:`~repro.obs.observer.Observer`.  When set, each
+        request's offload legs (edge gate, uplink, cloud service,
+        downlink) are recorded as parent-linked spans and the finished
+        run is finalized into spans and metrics.  Single-use — one per
+        ``serve`` call.
     rng:
         Seed/generator for link loss and jitter sampling (deterministic
         replays).
@@ -305,6 +320,7 @@ class EdgeTier:
         rng: np.random.Generator | int | None = 0,
         cloud_est_s: float | None = None,
         oracle=None,
+        obs=None,
     ) -> None:
         if not hasattr(cloud, "serve_log"):
             raise TypeError(
@@ -325,6 +341,7 @@ class EdgeTier:
         self.policy = policy
         self.codec = codec or TensorCodec()
         self.oracle = oracle
+        self.obs = obs
         self.rng = as_generator(rng)
         lat = branchynet_expected_latency(branchynet, edge_device, exit_rate=1.0)
         #: Edge cost of one gate pass (stem + branch + gate decision).
@@ -405,6 +422,8 @@ class EdgeTier:
         n_retransmits = 0
         ship: list[tuple[int, float, float]] = []  # (req, ship_ready_s, cloud_arrival_s)
 
+        obs = self.obs
+        debug = logger.isEnabledFor(10)  # logging.DEBUG
         for i in range(n):
             arrival = float(arrival_s[i])
             if self.policy.runs_gate:
@@ -413,6 +432,8 @@ class EdgeTier:
                 edge_free = gate_done
                 edge_busy += self.gate_s
                 ready = gate_done
+                if obs is not None:
+                    obs.on_leg(SPAN_EDGE_GATE, i, start, gate_done)
             else:
                 ready = arrival
             easy = bool(entropies[i] < threshold) if self.policy.runs_gate else False
@@ -453,8 +474,19 @@ class EdgeTier:
             # A declared link outage defers the start (the radio waits it
             # out); retransmits within a transfer are bounded by the
             # link's max_attempts budget and surfaced in the report.
-            tx_start = self.link.next_available(max(ready, uplink_free))
+            wanted = max(ready, uplink_free)
+            tx_start = self.link.next_available(wanted)
+            if debug and tx_start > wanted:
+                logger.debug(
+                    "uplink outage: request %d deferred %.6fs -> %.6fs",
+                    i, wanted, tx_start,
+                )
             transfer = self.link.transfer(up_bytes, time_s=tx_start, rng=self.rng)
+            if debug and transfer.attempts > 1:
+                logger.debug(
+                    "uplink fallback: request %d delivered after %d attempts",
+                    i, transfer.attempts,
+                )
             uplink_free = tx_start + transfer.occupancy_s
             # Radio energy covers serialization attempts only — the
             # retransmit-timeout gaps inside occupancy_s are idle air.
@@ -462,6 +494,8 @@ class EdgeTier:
             uplink_bytes_total += up_bytes
             n_retransmits += transfer.attempts - 1
             cloud_arrival = uplink_free + transfer.propagation_s
+            if obs is not None:
+                obs.on_leg(SPAN_UPLINK, i, tx_start, cloud_arrival)
             ship.append((i, ready, cloud_arrival))
 
         self._run_local_hard(images, outcome, predictions)
@@ -473,6 +507,8 @@ class EdgeTier:
         accuracy = float("nan")
         if labels is not None:
             accuracy = float((predictions == np.asarray(labels)).mean())
+        if obs is not None:
+            obs.finalize_arrays(arrival_s, completion)
         return self._report(
             arrival_s,
             completion,
@@ -541,11 +577,24 @@ class EdgeTier:
         finished.sort()
         downlink_free = 0.0
         n_retransmits = 0
+        obs = self.obs
+        debug = logger.isEnabledFor(10)  # logging.DEBUG
         for cloud_done, pos, req_id in finished:
-            tx_start = self.link.next_available(max(cloud_done, downlink_free))
+            wanted = max(cloud_done, downlink_free)
+            tx_start = self.link.next_available(wanted)
+            if debug and tx_start > wanted:
+                logger.debug(
+                    "downlink outage: request %d deferred %.6fs -> %.6fs",
+                    req_id, wanted, tx_start,
+                )
             transfer = self.link.transfer(
                 down_bytes, time_s=tx_start, rng=self.rng, direction="down"
             )
+            if debug and transfer.attempts > 1:
+                logger.debug(
+                    "downlink fallback: request %d delivered after %d attempts",
+                    req_id, transfer.attempts,
+                )
             downlink_free = tx_start + transfer.occupancy_s
             n_retransmits += transfer.attempts - 1
             done = downlink_free + transfer.propagation_s
@@ -553,6 +602,9 @@ class EdgeTier:
             predictions[req_id] = cloud_log.prediction[pos]
             cloud_part[req_id] = cloud_done - cloud_arrival[pos]
             net_part[req_id] = (cloud_arrival[pos] - ready_s[pos]) + (done - cloud_done)
+            if obs is not None:
+                obs.on_leg(SPAN_CLOUD, req_id, float(cloud_arrival[pos]), float(cloud_done))
+                obs.on_leg(SPAN_DOWNLINK, req_id, tx_start, done)
         return report, n_retransmits
 
     def _decode(self, raw: np.ndarray) -> np.ndarray:

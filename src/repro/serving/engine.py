@@ -185,6 +185,13 @@ class Server:
         Multi-tenant flush discipline: ``"priority"`` (urgent classes
         board first, per-class wait caps) or ``"fifo"`` (class-blind
         control arm).  Ignored when ``classes`` is ``None``.
+    obs:
+        Optional :class:`~repro.obs.observer.Observer`.  When set, each
+        dispatched batch is recorded as a span (worker index as the
+        replica lane) and the finished run is finalized into spans,
+        metrics, and SLO burn rates.  Observers are single-use — pass a
+        fresh one per ``serve*`` call.  ``None`` (default) records
+        nothing and costs one ``is None`` test per batch.
     """
 
     def __init__(
@@ -197,6 +204,7 @@ class Server:
         cache_lookup_s: float = 2e-5,
         classes: ClassSet | None = None,
         scheduler: str = "priority",
+        obs=None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -215,6 +223,7 @@ class Server:
         self.cache_lookup_s = float(cache_lookup_s)
         self.classes = classes
         self.scheduler = scheduler
+        self.obs = obs
 
     # ------------------------------------------------------------------ #
     # serving loop
@@ -319,6 +328,8 @@ class Server:
         batch_size = log.batch_size
         source_id = log.source_id
 
+        obs = self.obs
+
         def dispatch(indices: list[int], flush_s: float) -> None:
             nonlocal busy_s
             # One list→array conversion reused by every fancy-index op.
@@ -331,6 +342,8 @@ class Server:
             done = start + service
             workers[w] = done
             busy_s += service
+            if obs is not None:
+                obs.on_batch(start, done, w, len(indices))
             completion[idx] = done
             dispatch_s[idx] = start
             batch_size[idx] = len(indices)
@@ -388,6 +401,8 @@ class Server:
         report = self._report(
             log, batches, arrival_s, labels, cache, busy_s, scenario, classes
         )
+        if obs is not None:
+            obs.finalize(log, classes=classes)
         return report, log
 
     def _pump_classes(

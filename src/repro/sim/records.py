@@ -111,6 +111,36 @@ class RequestLog:
         if cached.size:
             self.prediction[cached] = self.prediction[self.source_id[cached]]
 
+    @classmethod
+    def from_requests(cls, requests: list[Request]) -> "RequestLog":
+        """Rebuild the SoA view from an object view (:meth:`to_requests` inverse).
+
+        Requests must be in row order (``req_id == index``), which is
+        how every engine emits them; the round trip
+        ``log.to_requests()`` → ``from_requests`` → columns is exact for
+        all columns, including the resilience ones.
+        """
+        log = cls(np.array([r.arrival_s for r in requests], dtype=np.float64))
+        for i, r in enumerate(requests):
+            if r.req_id != i:
+                raise ValueError(
+                    f"requests must be in row order: position {i} has req_id {r.req_id}"
+                )
+        log.completion_s[:] = [r.completion_s for r in requests]
+        log.dispatch_s[:] = [r.dispatch_s for r in requests]
+        log.prediction[:] = [r.prediction for r in requests]
+        log.route[:] = [ROUTE_CODES[r.route] for r in requests]
+        log.requested_route[:] = [ROUTE_CODES[r.requested_route] for r in requests]
+        log.batch_size[:] = [r.batch_size for r in requests]
+        log.source_id[:] = [r.source_id for r in requests]
+        log.replica_id[:] = [r.replica_id for r in requests]
+        log.degraded[:] = [r.degraded for r in requests]
+        log.retries[:] = [r.retries for r in requests]
+        log.req_class[:] = [r.req_class for r in requests]
+        log.timed_out[:] = [r.timed_out for r in requests]
+        log.hedged[:] = [r.hedged for r in requests]
+        return log
+
     def to_requests(self) -> list[Request]:
         """Materialize the object view (one ``Request`` per row)."""
         routes = self.route.tolist()

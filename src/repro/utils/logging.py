@@ -37,8 +37,18 @@ def get_logger(name: str) -> logging.Logger:
 
 
 def set_verbosity(level: int | str) -> None:
-    """Set library-wide log level (e.g. ``"INFO"`` or ``logging.DEBUG``)."""
+    """Set library-wide log level (e.g. ``"INFO"`` or ``logging.DEBUG``).
+
+    String levels must name a standard logging level (case-insensitive);
+    unknown names raise :class:`ValueError` listing the valid choices.
+    """
     _configure_root()
     if isinstance(level, str):
-        level = getattr(logging, level.upper())
+        resolved = getattr(logging, level.upper(), None)
+        if not isinstance(resolved, int):
+            valid = ", ".join(
+                name for name in ("DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL")
+            )
+            raise ValueError(f"unknown log level {level!r}; expected one of: {valid}")
+        level = resolved
     logging.getLogger(_ROOT_NAME).setLevel(level)

@@ -1,0 +1,164 @@
+"""Randomized chaos scenarios for the observability harness.
+
+Standalone on purpose: pytest cannot import helpers across test
+directories (two ``conftest.py`` modules never see each other), so this
+mirrors the ``tests/chaos`` generator in miniature — a toy pixel-sum
+fleet, a Poisson trace, and a seeded :func:`~repro.faults.fault_storm` —
+and adds the one thing the chaos harness lacks: every replay runs with
+an :class:`~repro.obs.Observer` attached, returning the finalized span
+log alongside the request log.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster import Cluster
+from repro.faults import (
+    BreakerConfig,
+    FaultPlan,
+    ResilienceConfig,
+    RetryPolicy,
+    fault_storm,
+    hedge_delay_for,
+)
+from repro.obs import Observer
+from repro.serving.arrivals import poisson_arrivals
+from repro.serving.backends import BatchTiming, InferenceBackend
+from repro.sim import oracle_backend
+
+N_POOL = 48
+
+
+class SumBackend(InferenceBackend):
+    """Deterministic toy model: label = pixel-sum mod 10."""
+
+    name = "sum"
+
+    def __init__(self, per_item_s=0.001, overhead_s=0.001):
+        super().__init__(BatchTiming(overhead_s=overhead_s, per_item_s=per_item_s))
+
+    def predict(self, images, decision=None):
+        return (images.reshape(images.shape[0], -1).sum(axis=1)).astype(np.int64) % 10
+
+
+@dataclass
+class Scenario:
+    """One randomized trace + fault storm, plus everything to replay it."""
+
+    seed: int
+    images: np.ndarray
+    labels: np.ndarray
+    ids: np.ndarray
+    arrival_s: np.ndarray
+    per_item: tuple
+    max_batch: int
+    max_wait_s: float
+    plan: FaultPlan
+
+    @property
+    def n(self) -> int:
+        return len(self.ids)
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.per_item)
+
+    def backends(self):
+        return [SumBackend(per_item_s=p) for p in self.per_item]
+
+    def service_scale_s(self) -> float:
+        backends = self.backends()
+        return self.max_wait_s + max(
+            b.mean_service_s(batch_size=self.max_batch) * self.max_batch
+            for b in backends
+        )
+
+
+def make_scenario(seed, n_requests=None, crashes=True) -> Scenario:
+    """Build one randomized trace with a seeded mixed fault storm."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(300, 600)) if n_requests is None else n_requests
+    n_replicas = int(rng.integers(2, 5))
+    per_item = tuple(float(rng.uniform(0.0004, 0.0012)) for _ in range(n_replicas))
+    max_batch = int(rng.choice([4, 8, 16]))
+    max_wait_s = float(rng.uniform(0.002, 0.006))
+    backends = [SumBackend(per_item_s=p) for p in per_item]
+    capacity = sum(1.0 / b.mean_service_s(batch_size=max_batch) for b in backends)
+    load = float(rng.uniform(0.5, 0.9))
+
+    images = rng.random((N_POOL, 1, 4, 4)).astype(np.float32)
+    labels = (images.reshape(N_POOL, -1).sum(axis=1)).astype(np.int64) % 10
+    ids = rng.integers(0, N_POOL, size=n)
+    arrival_s = poisson_arrivals(load * capacity, n, rng=rng)
+    horizon = float(arrival_s[-1]) + 0.05
+    plan = fault_storm(
+        n_replicas,
+        horizon,
+        rng=rng,
+        mean_window_s=horizon / 8.0,
+        crash_mtbf_s=4.0 * horizon if crashes else None,
+        crash_mttr_s=horizon / 6.0 if crashes else None,
+    )
+    return Scenario(
+        seed=seed,
+        images=images,
+        labels=labels,
+        ids=ids,
+        arrival_s=arrival_s,
+        per_item=per_item,
+        max_batch=max_batch,
+        max_wait_s=max_wait_s,
+        plan=plan,
+    )
+
+
+def resilience_for(sc: Scenario) -> ResilienceConfig:
+    """Resilience knobs scaled to the scenario's healthy service times."""
+    tick = sc.service_scale_s()
+    return ResilienceConfig(
+        timeout_s=6.0 * tick,
+        retry=RetryPolicy(
+            max_retries=2,
+            base_backoff_s=sc.max_wait_s,
+            backoff_mult=2.0,
+            max_backoff_s=4.0 * sc.max_wait_s,
+            jitter_frac=0.25,
+        ),
+        hedge_delay_s=hedge_delay_for(sc.backends(), sc.max_batch, sc.max_wait_s),
+        breaker=BreakerConfig(
+            window_s=8.0 * tick,
+            min_samples=6,
+            error_threshold=0.5,
+            cooldown_s=4.0 * tick,
+            half_open_probes=2,
+        ),
+    )
+
+
+def run_traced(sc: Scenario, resilient=True, oracle=True, faults=True):
+    """Serve one chaos arm with telemetry on.
+
+    Returns ``(report, request_log, observer)`` — the observer is
+    already finalized (the cluster finalizes it at end of serve), so
+    ``observer.spans`` is the SpanLog.
+    """
+    backends = sc.backends()
+    if oracle:
+        backends = [oracle_backend(b, sc.images) for b in backends]
+    obs = Observer()
+    cluster = Cluster(
+        backends,
+        policy="least-outstanding",
+        faults=sc.plan if faults else None,
+        resilience=resilience_for(sc) if resilient else None,
+        slo_s=4.0 * sc.service_scale_s(),
+        max_batch_size=sc.max_batch,
+        max_wait_s=sc.max_wait_s,
+        cache_capacity=0,
+        rng=sc.seed,
+        obs=obs,
+    )
+    stream = sc.ids if oracle else sc.images[sc.ids]
+    report, log = cluster.serve_log(stream, sc.arrival_s, labels=sc.labels[sc.ids])
+    return report, log, obs

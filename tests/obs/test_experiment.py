@@ -1,0 +1,72 @@
+"""The observability study: telemetry-only fault localization.
+
+The acceptance claim: replay a storm concentrated on one seeded target
+replica and name that replica *from the collected telemetry alone* —
+the study only opens the fault plan afterwards, to grade its answer.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from conftest import N_POOL, SumBackend
+
+from repro.experiments.obs import run_obs_study
+
+rng = np.random.default_rng(0)
+IMAGES = rng.random((N_POOL, 1, 4, 4)).astype(np.float32)
+LABELS = (IMAGES.reshape(N_POOL, -1).sum(axis=1)).astype(np.int64) % 10
+
+
+def study(seed: int, **kwargs):
+    return run_obs_study(
+        seed=seed,
+        n_requests=700,
+        backends=[SumBackend(per_item_s=0.001) for _ in range(4)],
+        images=IMAGES,
+        labels=LABELS,
+        **kwargs,
+    )
+
+
+class TestLocalization:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_telemetry_pins_the_injected_replica(self, seed):
+        result = study(seed)
+        assert result.localized
+        assert result.suspect_replica == result.target_replica
+        # The verdict really came out of the observer, not the plan.
+        assert result.observer.suspect_replicas(top=1) == [result.suspect_replica]
+
+    def test_storm_touches_only_the_target(self):
+        result = study(0)
+        assert {f.replica_id for f in result.plan.faults} == {result.target_replica}
+        assert result.plan.failures == ()  # no crashes: too easy to spot
+
+    def test_oracle_and_live_agree(self):
+        a, b = study(1, live=False), study(1, live=True)
+        assert a.suspect_replica == b.suspect_replica
+        assert a.observer.replica_stats == b.observer.replica_stats
+        assert len(a.observer.spans) == len(b.observer.spans)
+
+
+class TestRendering:
+    def test_render_names_the_verdict(self):
+        result = study(2)
+        text = result.render()
+        assert "LOCALIZED" in text
+        assert f"replica {result.target_replica}" in text
+        assert "worst burn rate" in text
+
+    def test_trace_out_writes_chrome_json(self, tmp_path):
+        path = tmp_path / "obs_trace.json"
+        result = study(3, trace_out=str(path))
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == result.trace_events > 0
+        assert str(path) in result.render()
+
+
+class TestInputs:
+    def test_custom_fleet_requires_images(self):
+        with pytest.raises(ValueError, match="images"):
+            run_obs_study(backends=[SumBackend()])

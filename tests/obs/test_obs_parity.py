@@ -1,0 +1,86 @@
+"""Telemetry determinism: oracle vs live parity, and zero perturbation.
+
+Two contracts.  First, the observability layer inherits the repo-wide
+oracle discipline: replaying one scenario with precomputed predictions
+or with in-loop model calls must yield *field-for-field identical*
+spans, metrics, and alerts.  Second, attaching an observer must not
+perturb the simulation itself — the request log of a traced run must
+equal the untraced one exactly.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from conftest import (
+    Cluster,
+    Scenario,
+    make_scenario,
+    oracle_backend,
+    resilience_for,
+    run_traced,
+)
+
+SPAN_COLUMNS = ("kind", "req", "start_s", "end_s", "replica", "parent")
+SEEDS = (0, 1, 2)
+
+
+def assert_scalars_equal(a: dict, b: dict) -> None:
+    assert a.keys() == b.keys()
+    for key in a:
+        x, y = a[key], b[key]
+        both_nan = (
+            isinstance(x, float) and isinstance(y, float)
+            and math.isnan(x) and math.isnan(y)
+        )
+        assert x == y or both_nan, key
+
+
+class TestOracleLiveParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_spans_identical(self, seed):
+        sc = make_scenario(seed)
+        _, _, live = run_traced(sc, oracle=False)
+        _, _, oracle = run_traced(sc, oracle=True)
+        for col in SPAN_COLUMNS:
+            assert np.array_equal(
+                getattr(live.spans, col), getattr(oracle.spans, col)
+            ), col
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_metrics_and_alerts_identical(self, seed):
+        sc = make_scenario(seed)
+        _, _, live = run_traced(sc, oracle=False)
+        _, _, oracle = run_traced(sc, oracle=True)
+        assert_scalars_equal(live.metrics.snapshot(), oracle.metrics.snapshot())
+        assert_scalars_equal(live.summary(), oracle.summary())
+        assert live.alerts == oracle.alerts
+        assert live.replica_stats == oracle.replica_stats
+
+
+class TestZeroPerturbation:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_tracing_leaves_the_request_log_untouched(self, seed):
+        sc = make_scenario(seed)
+        _, traced_log, _ = run_traced(sc, oracle=True)
+
+        def untraced(sc: Scenario):
+            backends = [oracle_backend(b, sc.images) for b in sc.backends()]
+            cluster = Cluster(
+                backends,
+                policy="least-outstanding",
+                faults=sc.plan,
+                resilience=resilience_for(sc),
+                slo_s=4.0 * sc.service_scale_s(),
+                max_batch_size=sc.max_batch,
+                max_wait_s=sc.max_wait_s,
+                cache_capacity=0,
+                rng=sc.seed,
+            )
+            _, log = cluster.serve_log(sc.ids, sc.arrival_s, labels=sc.labels[sc.ids])
+            return log
+
+        plain_log = untraced(sc)
+        for col in traced_log.__slots__:
+            x, y = getattr(plain_log, col), getattr(traced_log, col)
+            assert np.array_equal(x, y, equal_nan=x.dtype.kind == "f"), col

@@ -1,0 +1,104 @@
+"""Span-tree well-formedness under randomized chaos storms.
+
+The tracer's output is a forest: one ``request`` root per completed
+request, with queue/service children and parent-linked event rows.
+These invariants must hold for *every* seeded storm, not one tuned
+scenario — orphaned children, children escaping their parent's
+interval, or spans that don't reconcile with the ``RequestLog`` all
+mean the trace is lying about where time went.
+"""
+
+import numpy as np
+import pytest
+from conftest import make_scenario, run_traced
+
+from repro.obs.spans import (
+    EV_CRASH,
+    NO_PARENT,
+    SPAN_QUEUE,
+    SPAN_REQUEST,
+    SPAN_SERVICE,
+)
+
+EPS = 1e-9
+
+
+@pytest.fixture(scope="module", params=range(10))
+def traced(request):
+    """One chaos replay with telemetry, shared by every invariant."""
+    sc = make_scenario(request.param)
+    report, log, obs = run_traced(sc)
+    return sc, report, log, obs
+
+
+class TestSpanTree:
+    def test_one_root_per_completed_request(self, traced):
+        _, _, log, obs = traced
+        sp = obs.spans
+        roots = np.nonzero(sp.mask(SPAN_REQUEST))[0]
+        done = np.nonzero(log.done)[0]
+        assert np.array_equal(sp.req[roots], done)
+        assert np.allclose(sp.start_s[roots], log.arrival_s[done])
+        assert np.allclose(sp.end_s[roots], log.completion_s[done])
+        assert (sp.parent[roots] == NO_PARENT).all()
+
+    def test_no_orphan_children(self, traced):
+        _, _, log, obs = traced
+        sp = obs.spans
+        linked = sp.parent >= 0
+        # Parents exist, are roots, and agree on the owning request.
+        assert (sp.parent < len(sp)).all()
+        assert (sp.kind[sp.parent[linked]] == SPAN_REQUEST).all()
+        assert np.array_equal(sp.req[sp.parent[linked]], sp.req[linked])
+        # Conversely: every row owned by a *completed* request is linked.
+        owned = (sp.req >= 0) & ~sp.mask(SPAN_REQUEST)
+        completed = log.done[sp.req[owned]]
+        assert (sp.parent[owned][completed] >= 0).all()
+
+    def test_children_stay_inside_parent_interval(self, traced):
+        _, _, _, obs = traced
+        sp = obs.spans
+        linked = np.nonzero(sp.parent >= 0)[0]
+        p = sp.parent[linked]
+        assert (sp.start_s[linked] >= sp.start_s[p] - EPS).all()
+        assert (sp.end_s[linked] <= sp.end_s[p] + EPS).all()
+
+    def test_queue_and_service_partition_the_lifetime(self, traced):
+        _, _, log, obs = traced
+        sp = obs.spans
+        q = np.nonzero(sp.mask(SPAN_QUEUE))[0]
+        s = np.nonzero(sp.mask(SPAN_SERVICE))[0]
+        # Synthesized in lockstep: same requests, same order, same parent.
+        assert np.array_equal(sp.req[q], sp.req[s])
+        assert np.array_equal(sp.parent[q], sp.parent[s])
+        # Queue [arrival, dispatch) abuts service [dispatch, completion):
+        # siblings never overlap and jointly cover the root exactly.
+        assert np.allclose(sp.end_s[q], sp.start_s[s])
+        reqs = sp.req[q]
+        assert np.allclose(sp.start_s[q], log.arrival_s[reqs])
+        assert np.allclose(sp.end_s[s], log.completion_s[reqs])
+        dispatched = log.done & ~np.isnan(log.dispatch_s)
+        assert len(q) == int(dispatched.sum())
+
+    def test_instant_events_are_zero_width(self, traced):
+        _, _, _, obs = traced
+        sp = obs.spans
+        ev = sp.kind >= EV_CRASH
+        assert np.array_equal(sp.start_s[ev], sp.end_s[ev])
+
+    def test_span_conservation_against_request_log(self, traced):
+        _, _, log, obs = traced
+        sp = obs.spans
+        n_roots = sp.count(SPAN_REQUEST)
+        assert n_roots == int(log.done.sum())
+        # Every row is either synthesized (root/queue/service) or one of
+        # the sparse rows the event loop recorded — nothing invented.
+        synthesized = n_roots + sp.count(SPAN_QUEUE) + sp.count(SPAN_SERVICE)
+        assert len(sp) == synthesized + obs.tracer.n_rows
+
+    def test_timestamps_are_finite_and_ordered(self, traced):
+        _, _, _, obs = traced
+        sp = obs.spans
+        assert np.isfinite(sp.start_s).all()
+        assert np.isfinite(sp.end_s).all()
+        assert (sp.end_s >= sp.start_s - EPS).all()

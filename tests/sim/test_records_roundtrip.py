@@ -1,0 +1,107 @@
+"""RequestLog ⇄ Request-object round-trip property tests.
+
+``to_requests()`` materializes the object view and ``from_requests()``
+rebuilds the SoA columns; the round trip must be exact for *every*
+column — including the resilience columns (``retries``, ``timed_out``,
+``hedged``) added by the fault-tolerant fleet engine, which previously
+had no dedicated round-trip coverage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.records import (
+    ROUTE_BATCHED,
+    ROUTE_CACHED,
+    ROUTE_CODES,
+    RequestLog,
+)
+
+COLUMNS = RequestLog.__slots__
+
+
+def random_log(rng: np.random.Generator, n: int) -> RequestLog:
+    """A log with every column exercised: NaNs, sentinels, and extremes."""
+    log = RequestLog(np.sort(rng.uniform(0.0, 2.0, n)))
+    served = rng.random(n) < 0.8
+    log.completion_s[served] = log.arrival_s[served] + rng.uniform(1e-4, 0.5, served.sum())
+    log.dispatch_s[served] = log.arrival_s[served] + rng.uniform(0.0, 0.1, served.sum())
+    log.prediction[:] = rng.integers(-1, 10, n)
+    log.route[:] = rng.integers(0, len(ROUTE_CODES), n)
+    log.requested_route[:] = rng.integers(0, len(ROUTE_CODES), n)
+    log.batch_size[:] = rng.integers(0, 33, n)
+    log.source_id[:] = rng.integers(-1, n, n)
+    log.replica_id[:] = rng.integers(-1, 8, n)
+    log.degraded[:] = rng.random(n) < 0.2
+    log.retries[:] = rng.integers(0, 4, n)
+    log.req_class[:] = rng.integers(0, 3, n)
+    log.timed_out[:] = rng.integers(0, 3, n)
+    log.hedged[:] = rng.random(n) < 0.15
+    return log
+
+
+def assert_logs_equal(a: RequestLog, b: RequestLog) -> None:
+    for col in COLUMNS:
+        x, y = getattr(a, col), getattr(b, col)
+        assert x.dtype == y.dtype, col
+        assert np.array_equal(x, y, equal_nan=x.dtype.kind == "f"), col
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_logs_round_trip_exactly(self, seed):
+        rng = np.random.default_rng(seed)
+        log = random_log(rng, int(rng.integers(1, 200)))
+        assert_logs_equal(log, RequestLog.from_requests(log.to_requests()))
+
+    def test_resilience_columns_survive(self):
+        log = RequestLog(np.array([0.0, 0.1, 0.2]))
+        log.retries[:] = [0, 2, 1]
+        log.timed_out[:] = [1, 0, 3]
+        log.hedged[:] = [True, False, True]
+        back = RequestLog.from_requests(log.to_requests())
+        assert back.retries.tolist() == [0, 2, 1]
+        assert back.timed_out.tolist() == [1, 0, 3]
+        assert back.hedged.tolist() == [True, False, True]
+
+    def test_never_served_rows_keep_nan_and_sentinels(self):
+        log = RequestLog(np.array([0.0, 1.0]))
+        back = RequestLog.from_requests(log.to_requests())
+        assert np.isnan(back.completion_s).all()
+        assert np.isnan(back.dispatch_s).all()
+        assert (back.prediction == -1).all()
+        assert (back.replica_id == -1).all()
+        assert (back.route == ROUTE_BATCHED).all()
+
+    def test_route_strings_map_back_to_codes(self):
+        log = RequestLog(np.array([0.0]))
+        log.route[0] = ROUTE_CACHED
+        reqs = log.to_requests()
+        assert reqs[0].route == "cached"
+        assert RequestLog.from_requests(reqs).route[0] == ROUTE_CACHED
+
+    def test_out_of_order_requests_rejected(self):
+        log = RequestLog(np.array([0.0, 1.0]))
+        reqs = log.to_requests()
+        with pytest.raises(ValueError, match="row order"):
+            RequestLog.from_requests(list(reversed(reqs)))
+
+    def test_object_view_matches_columns_fieldwise(self):
+        rng = np.random.default_rng(42)
+        log = random_log(rng, 50)
+        reqs = log.to_requests()
+        for i in (0, 17, 49):
+            r = reqs[i]
+            assert r.req_id == i
+            assert r.arrival_s == log.arrival_s[i]
+            same_completion = (
+                r.completion_s == log.completion_s[i]
+                or (np.isnan(r.completion_s) and np.isnan(log.completion_s[i]))
+            )
+            assert same_completion
+            assert r.retries == log.retries[i]
+            assert r.timed_out == log.timed_out[i]
+            assert r.hedged == bool(log.hedged[i])
+            assert r.req_class == log.req_class[i]

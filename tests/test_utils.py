@@ -145,3 +145,15 @@ class TestLogging:
         set_verbosity("DEBUG")
         assert logging.getLogger("repro").level == logging.DEBUG
         set_verbosity(logging.WARNING)
+
+    def test_set_verbosity_rejects_unknown_level(self):
+        import logging
+
+        with pytest.raises(ValueError, match="unknown log level"):
+            set_verbosity("LOUD")
+        # Non-level attributes of the logging module must not slip through.
+        with pytest.raises(ValueError, match="unknown log level"):
+            set_verbosity("getLogger")
+        # Case-insensitive strings still work.
+        set_verbosity("warning")
+        assert logging.getLogger("repro").level == logging.WARNING

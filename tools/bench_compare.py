@@ -41,8 +41,9 @@ REPO = Path(__file__).resolve().parents[1]
 #: (throughput / tail latency of the batched server), the fleet cluster
 #: (end-to-end policy grid + autoscaler + failure studies), the offload
 #: layer (split sweep + policy grid + codec study), the
-#: million-request scale bench over the oracle simulation core, and the
-#: million-request chaos storm through the resilience layer.
+#: million-request scale bench over the oracle simulation core, the
+#: million-request chaos storm through the resilience layer, and the
+#: observability overhead gate (traced vs untraced 1M-request medians).
 DEFAULT_SUITES = (
     "benchmarks/test_substrate_kernels.py",
     "benchmarks/test_serving_engine.py",
@@ -51,6 +52,7 @@ DEFAULT_SUITES = (
     "benchmarks/test_million_requests.py",
     "benchmarks/test_tenants_scheduling.py",
     "benchmarks/test_chaos_resilience.py",
+    "benchmarks/test_obs_overhead.py",
 )
 
 _BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")

@@ -40,6 +40,7 @@ REQUIRED_DOCS = (
     "docs/sim.md",
     "docs/scheduling.md",
     "docs/robustness.md",
+    "docs/observability.md",
 )
 
 
