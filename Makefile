@@ -13,10 +13,17 @@
 #                     storms, fault/breaker/retry units, chaos experiment
 #   make obs-smoke    observability smoke: span-tree well-formedness,
 #                     metrics/SLO units, oracle-vs-live telemetry parity
+#   make prof-smoke   profiler smoke: phase-tree determinism + exports on
+#                     toy fleets, then a profiled experiment run writing
+#                     a sample flamegraph to benchmarks/results/
 #   make bench-smoke  fast benchmark subset, incl. the serving engine
 #   make bench        full benchmark suite (regenerates benchmarks/results/)
-#   make bench-record record BENCH_<n>.json medians (substrate + serving)
+#   make bench-record record BENCH_<n>.json medians (substrate + serving),
+#                     plus a profiled pass storing phase shares (--profile)
 #   make bench-check  fail on >15% median regression vs last BENCH_<n>.json
+#                     (re-runs failing suites under the phase profiler)
+#   make bench-report render benchmarks/results/bench_history.md from the
+#                     full BENCH_<n>.json trajectory, changepoints marked
 #   make docs-check   README code blocks compile + docstring coverage
 #   make docs-run     additionally *execute* the README blocks (trains on
 #                     first run; disk-cached after)
@@ -25,7 +32,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test fleet-smoke offload-smoke sim-smoke tenants-smoke chaos-smoke obs-smoke bench-smoke bench bench-record bench-check docs-check docs-run lint
+.PHONY: test fleet-smoke offload-smoke sim-smoke tenants-smoke chaos-smoke obs-smoke prof-smoke bench-smoke bench bench-record bench-check bench-report docs-check docs-run lint
 
 test:
 	$(PYTHON) -m pytest tests -x -q
@@ -57,6 +64,17 @@ chaos-smoke:
 obs-smoke:
 	$(PYTHON) -m pytest tests/obs -q
 
+# Profiler smoke: toy-fleet tests first, then one profiled fast
+# experiment run whose speedscope/collapsed exports land under
+# benchmarks/results/ (CI uploads them as the sample flamegraph).
+# tests/tools gets its own invocation — it carries a conftest.py too
+# (see the chaos-smoke note).
+prof-smoke:
+	$(PYTHON) -m pytest tests/obs/test_prof.py tests/obs/test_exports.py -q
+	$(PYTHON) -m pytest tests/tools -q
+	$(PYTHON) -m repro.experiments.cli prof --fast \
+	    --prof-out benchmarks/results/profile.speedscope.json
+
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/test_table1_architecture.py \
 	    benchmarks/test_serving_tail_latency.py \
@@ -68,10 +86,13 @@ bench:
 	$(PYTHON) -m pytest benchmarks -q
 
 bench-record:
-	$(PYTHON) tools/bench_compare.py record
+	$(PYTHON) tools/bench_compare.py record --profile
 
 bench-check:
 	$(PYTHON) tools/bench_compare.py check
+
+bench-report:
+	$(PYTHON) tools/bench_history.py
 
 docs-check:
 	$(PYTHON) tools/check_docs.py

@@ -12,6 +12,7 @@ Examples
     cbnet-experiment tenants --fast
     cbnet-experiment chaos --fast
     cbnet-experiment obs --fast --trace-out trace.json
+    cbnet-experiment prof --fast --prof-out profile.speedscope.json
     cbnet-experiment offload --fast --link lte
     cbnet-experiment all --fast
 """
@@ -34,6 +35,7 @@ from repro.experiments.fig5 import run_fig5
 from repro.experiments.fleet import FLEET_SCENARIOS, run_fleet_comparison
 from repro.experiments.obs import run_obs_study
 from repro.experiments.offload import run_offload_study
+from repro.experiments.prof import run_prof_study
 from repro.experiments.scalability import run_scalability
 from repro.experiments.serve import SCENARIOS, run_serving_comparison
 from repro.experiments.table1 import run_table1
@@ -63,6 +65,7 @@ def main(argv: list[str] | None = None) -> int:
             "tenants",
             "chaos",
             "obs",
+            "prof",
             "offload",
             "report",
             "all",
@@ -100,6 +103,13 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="write the observability study's span log as Chrome "
         "trace-event JSON for ui.perfetto.dev (obs only)",
+    )
+    parser.add_argument(
+        "--prof-out",
+        default=None,
+        metavar="PATH",
+        help="write the profiling study's phase tree as speedscope JSON "
+        "(plus PATH.collapsed for flamegraph.pl; prof only)",
     )
     parser.add_argument(
         "--live",
@@ -194,6 +204,16 @@ def main(argv: list[str] | None = None) -> int:
                 dataset=args.dataset or "mnist",
                 live=args.live,
                 trace_out=args.trace_out,
+            ).render()
+        )
+    if args.experiment in ("prof", "all"):
+        emit(
+            run_prof_study(
+                fast=args.fast,
+                seed=args.seed,
+                dataset=args.dataset or "mnist",
+                live=args.live,
+                prof_out=args.prof_out,
             ).render()
         )
     if args.experiment in ("offload", "all"):

@@ -14,7 +14,14 @@ simulation:
   :class:`~repro.serving.classes.RequestClass` deadlines with typed
   threshold alerts;
 * :mod:`repro.obs.observer` — the :class:`Observer` facade engines
-  accept as an optional ``obs=`` parameter.
+  accept as an optional ``obs=`` parameter;
+* :mod:`repro.obs.prof` — wall-clock phase-attribution profiling of the
+  engine hot loops (``prof=`` parameter): hierarchical phase timers, a
+  sampling mode, and collapsed-stack/speedscope flamegraph export;
+* :mod:`repro.obs.timeline` — virtual-time resource-utilization
+  timelines (busy fraction, queue depth, cache hit rate, uplink
+  occupancy) derived post-hoc and exportable as Perfetto counter
+  tracks.
 
 Everything is deterministic and virtual-clock native: the same scenario
 replayed in oracle or ``--live`` mode produces field-for-field
@@ -32,8 +39,19 @@ from repro.obs.metrics import (
     WindowSeries,
 )
 from repro.obs.observer import Observer
+from repro.obs.prof import (
+    PhaseProfiler,
+    PhaseReport,
+    PhaseStat,
+    SamplingProfiler,
+    compare_phase_reports,
+    current_profiler,
+    enable_global_profiler,
+    top_regressing_phase,
+)
 from repro.obs.slo import SLOAlert, SLOMonitor
 from repro.obs.spans import SPAN_NAMES, SpanLog, Tracer
+from repro.obs.timeline import ResourceTimelines, build_timelines
 
 __all__ = [
     "Observer",
@@ -48,4 +66,14 @@ __all__ = [
     "WindowSeries",
     "SLOMonitor",
     "SLOAlert",
+    "PhaseProfiler",
+    "PhaseReport",
+    "PhaseStat",
+    "SamplingProfiler",
+    "compare_phase_reports",
+    "top_regressing_phase",
+    "current_profiler",
+    "enable_global_profiler",
+    "ResourceTimelines",
+    "build_timelines",
 ]

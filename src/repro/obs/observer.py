@@ -87,6 +87,9 @@ class Observer:
         # In-loop batch buffer: (start_s, end_s, replica, n, queue_depth)
         # per dispatch; all derived metrics come out vectorized on read.
         self._batch_meta: list[tuple[float, float, int, int, int]] = []
+        # Vectorized batch columns preserved across flushes — the
+        # resource timelines are derived from these after the run.
+        self._batch_arrays: list[np.ndarray] = []
         self._final_args: tuple | None = None
         self._span_args: tuple | None = None
         self._span_log: SpanLog | None = None
@@ -204,6 +207,7 @@ class Observer:
         if not self._batch_meta:
             return
         meta = np.array(self._batch_meta, dtype=np.float64)
+        self._batch_arrays.append(meta)
         starts, ends, reps, ns, depths = meta.T
         self._metrics.counter("batches").inc(meta.shape[0])
         self._metrics.counter("batched_requests").inc(int(ns.sum()))
@@ -274,6 +278,43 @@ class Observer:
         slo = self.slo
         return [] if slo is None else slo.alerts
 
+    def batch_arrays(self) -> tuple[np.ndarray, ...] | None:
+        """Batch metadata columns: (starts, ends, replicas, sizes, depths).
+
+        The vectorized form of every ``on_batch`` call this run, in
+        dispatch order; ``None`` when no batch was recorded.  This is
+        the raw feed for :func:`repro.obs.timeline.build_timelines`.
+        """
+        self._flush_batch_meta()
+        if not self._batch_arrays:
+            return None
+        meta = (
+            self._batch_arrays[0]
+            if len(self._batch_arrays) == 1
+            else np.concatenate(self._batch_arrays, axis=0)
+        )
+        starts, ends, reps, ns, depths = meta.T
+        return starts, ends, reps, ns, depths
+
+    def timelines(self, window_s: float | None = None):
+        """Resource-utilization timelines derived from this run's data.
+
+        Builds :class:`~repro.obs.timeline.ResourceTimelines` — per-
+        replica busy fraction and queue depth from the batch metadata,
+        cache hit rate from the finalized ``RequestLog``, uplink
+        occupancy from any offload legs — with zero in-loop cost; the
+        derivation is vectorized here at read time.
+        """
+        from repro.obs.timeline import build_timelines
+
+        log = self._final_args[0] if self._final_args is not None else None
+        return build_timelines(
+            self.window_s if window_s is None else window_s,
+            batch_arrays=self.batch_arrays(),
+            log=log,
+            spans=self.spans,
+        )
+
     def suspect_replicas(self, top: int = 1) -> list[int]:
         """Replicas ranked most-suspicious from telemetry alone.
 
@@ -299,8 +340,15 @@ class Observer:
             out["alerts"] = float(len(self.slo.alerts))
         return out
 
-    def chrome_trace(self, path, max_requests: int = 2000) -> int:
-        """Export the finalized spans as Chrome trace-event JSON."""
+    def chrome_trace(self, path, max_requests: int = 2000, counters: bool = True) -> int:
+        """Export the finalized spans as Chrome trace-event JSON.
+
+        ``max_requests`` caps the per-request lanes (see
+        :meth:`SpanLog.to_chrome` — dropped-lane counts land in the
+        file's metadata); ``counters=True`` (default) splices the
+        resource timelines in as Perfetto counter tracks.
+        """
         if self.spans is None:
             raise RuntimeError("call finalize() before exporting a trace")
-        return self.spans.to_chrome(path, max_requests=max_requests)
+        extra = self.timelines().counter_events() if counters else None
+        return self.spans.to_chrome(path, max_requests=max_requests, counters=extra)

@@ -169,15 +169,26 @@ class SpanLog:
         """Row indices whose ``parent`` is ``row``."""
         return np.nonzero(self.parent == row)[0]
 
-    def to_chrome(self, path, max_requests: int = 2000) -> int:
+    def to_chrome(self, path, max_requests: int = 2000, counters: list | None = None) -> int:
         """Write Chrome trace-event JSON; returns the number of events.
 
         Layout: batch spans and instant events ride the replica lanes
         (``pid`` 0, ``tid`` = replica id); per-request spans ride
-        request lanes (``pid`` 1, ``tid`` = request index) capped at
-        ``max_requests`` roots so huge runs stay openable.  Times are
+        request lanes (``pid`` 1, ``tid`` = request index).  Times are
         microseconds as the format requires.  Open the file in
         https://ui.perfetto.dev or ``chrome://tracing``.
+
+        ``max_requests`` is the **request-lane cap**: only the first
+        ``max_requests`` distinct request ids (in span order) get
+        lanes, so a million-request run stays openable in a viewer.
+        Pass a larger value (or ``float("inf")``) to keep more lanes.
+        The cap is accounted for, not silent — the file's top-level
+        ``"metadata"`` object records ``request_lanes_kept``,
+        ``request_lanes_dropped``, and ``events_dropped``.
+
+        ``counters`` splices extra pre-built trace events into the same
+        file (Perfetto counter tracks from
+        :meth:`~repro.obs.timeline.ResourceTimelines.counter_events`).
         """
         events: list[dict] = [
             {
@@ -196,6 +207,8 @@ class SpanLog:
         is_instant = self.kind >= EV_CRASH
         is_request_lane = (~is_instant) & (self.kind != SPAN_BATCH)
         kept_reqs: set[int] = set()
+        dropped_reqs: set[int] = set()
+        n_dropped_events = 0
         for i in range(len(self)):
             kind = int(self.kind[i])
             name = SPAN_NAMES[kind]
@@ -219,6 +232,8 @@ class SpanLog:
             if is_request_lane[i]:
                 if req not in kept_reqs:
                     if len(kept_reqs) >= max_requests:
+                        dropped_reqs.add(req)
+                        n_dropped_events += 1
                         continue
                     kept_reqs.add(req)
                 pid, tid = 1, req
@@ -235,9 +250,21 @@ class SpanLog:
                     "args": {"req": req, "replica": replica},
                 }
             )
+        if counters:
+            events.extend(counters)
+        payload = {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "metadata": {
+                "max_requests": max_requests if max_requests != float("inf") else -1,
+                "request_lanes_kept": len(kept_reqs),
+                "request_lanes_dropped": len(dropped_reqs),
+                "events_dropped": n_dropped_events,
+            },
+        }
         path = str(path)
         with open(path, "w") as fh:
-            json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, fh)
+            json.dump(payload, fh)
         return len(events)
 
 

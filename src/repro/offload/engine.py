@@ -42,6 +42,7 @@ from repro.hw.energy import energy_joules
 from repro.hw.flops import stage_cost
 from repro.hw.latency import branchynet_expected_latency
 from repro.hw.network import NetworkLink
+from repro.obs.prof import current_profiler
 from repro.obs.spans import (
     SPAN_CLOUD,
     SPAN_DOWNLINK,
@@ -293,6 +294,11 @@ class EdgeTier:
         downlink) are recorded as parent-linked spans and the finished
         run is finalized into spans and metrics.  Single-use — one per
         ``serve`` call.
+    prof:
+        Optional :class:`~repro.obs.prof.PhaseProfiler` attributing
+        **wall-clock** time to edge phases (warmup, event_loop, network,
+        inference, cloud, report).  ``None`` falls back to the
+        process-global profiler (``REPRO_PROF=1``), else off.
     rng:
         Seed/generator for link loss and jitter sampling (deterministic
         replays).
@@ -321,6 +327,7 @@ class EdgeTier:
         cloud_est_s: float | None = None,
         oracle=None,
         obs=None,
+        prof=None,
     ) -> None:
         if not hasattr(cloud, "serve_log"):
             raise TypeError(
@@ -342,6 +349,9 @@ class EdgeTier:
         self.codec = codec or TensorCodec()
         self.oracle = oracle
         self.obs = obs
+        # Wall-clock phase attribution: an explicit profiler wins, else
+        # the process-global one (REPRO_PROF=1), else disabled.
+        self.prof = prof if prof is not None else current_profiler()
         self.rng = as_generator(rng)
         lat = branchynet_expected_latency(branchynet, edge_device, exit_rate=1.0)
         #: Edge cost of one gate pass (stem + branch + gate decision).
@@ -384,6 +394,10 @@ class EdgeTier:
         images, arrival_s = validate_trace(images, arrival_s)
         n = images.shape[0]
 
+        prof = self.prof
+        if prof is not None:
+            prof.start("serve")
+            prof.start("warmup")
         threshold = float(self.branchynet.entropy_threshold)
         if not self.policy.runs_gate:
             entropies = np.full(n, np.nan, dtype=np.float64)
@@ -406,6 +420,8 @@ class EdgeTier:
             boundary_elems = int(np.prod(images.shape[1:]))
         up_bytes = self.codec.wire_bytes(boundary_elems)
         down_bytes = int(self.branchynet.num_classes) * _FLOAT32_BYTES
+        if prof is not None:
+            prof.stop()  # warmup
 
         completion = np.full(n, np.nan)
         outcome = np.full(n, _LOCAL_EASY, dtype=np.int64)
@@ -424,6 +440,8 @@ class EdgeTier:
 
         obs = self.obs
         debug = logger.isEnabledFor(10)  # logging.DEBUG
+        if prof is not None:
+            prof.start("event_loop")
         for i in range(n):
             arrival = float(arrival_s[i])
             if self.policy.runs_gate:
@@ -474,6 +492,8 @@ class EdgeTier:
             # A declared link outage defers the start (the radio waits it
             # out); retransmits within a transfer are bounded by the
             # link's max_attempts budget and surfaced in the report.
+            if prof is not None:
+                prof.start("network")
             wanted = max(ready, uplink_free)
             tx_start = self.link.next_available(wanted)
             if debug and tx_start > wanted:
@@ -496,20 +516,31 @@ class EdgeTier:
             cloud_arrival = uplink_free + transfer.propagation_s
             if obs is not None:
                 obs.on_leg(SPAN_UPLINK, i, tx_start, cloud_arrival)
+            if prof is not None:
+                prof.stop()  # network
             ship.append((i, ready, cloud_arrival))
+        if prof is not None:
+            prof.stop()  # event_loop
+            prof.start("inference")
 
         self._run_local_hard(images, outcome, predictions)
+        if prof is not None:
+            prof.stop()  # inference
+            prof.start("cloud")
         cloud_report, down_retransmits = self._run_cloud(
             images, ship, down_bytes, completion, predictions, net_part, cloud_part, scenario
         )
         n_retransmits += down_retransmits
+        if prof is not None:
+            prof.stop()  # cloud
+            prof.start("report")
 
         accuracy = float("nan")
         if labels is not None:
             accuracy = float((predictions == np.asarray(labels)).mean())
         if obs is not None:
             obs.finalize_arrays(arrival_s, completion)
-        return self._report(
+        report = self._report(
             arrival_s,
             completion,
             outcome,
@@ -524,6 +555,10 @@ class EdgeTier:
             cloud_report,
             scenario,
         )
+        if prof is not None:
+            prof.stop()  # report
+            prof.stop()  # serve
+        return report
 
     # ------------------------------------------------------------------ #
     # local hard path + cloud tier

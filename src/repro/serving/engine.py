@@ -46,6 +46,7 @@ import numpy as np
 
 from repro.eval.metrics import latency_percentiles
 from repro.eval.tables import Table
+from repro.obs.prof import current_profiler
 from repro.parallel.pool import parallel_map
 from repro.serving.backends import InferenceBackend
 from repro.serving.batcher import MicroBatcher
@@ -192,6 +193,12 @@ class Server:
         metrics, and SLO burn rates.  Observers are single-use — pass a
         fresh one per ``serve*`` call.  ``None`` (default) records
         nothing and costs one ``is None`` test per batch.
+    prof:
+        Optional :class:`~repro.obs.prof.PhaseProfiler` attributing
+        **wall-clock** (host CPU) time to engine phases: warmup,
+        event_loop, ingest, dispatch, inference, report.  ``None``
+        falls back to the process-global profiler (``REPRO_PROF=1``),
+        else profiling is off.
     """
 
     def __init__(
@@ -205,6 +212,7 @@ class Server:
         classes: ClassSet | None = None,
         scheduler: str = "priority",
         obs=None,
+        prof=None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -224,6 +232,9 @@ class Server:
         self.classes = classes
         self.scheduler = scheduler
         self.obs = obs
+        # Wall-clock phase attribution: an explicit profiler wins, else
+        # the process-global one (REPRO_PROF=1), else disabled.
+        self.prof = prof if prof is not None else current_profiler()
 
     # ------------------------------------------------------------------ #
     # serving loop
@@ -299,6 +310,10 @@ class Server:
         images, arrival_s = validate_trace(images, arrival_s)
         classes, codes = self._resolve_classes(request_classes, arrival_s.shape[0])
         oracle = self.backend.oracle
+        prof = self.prof
+        if prof is not None:
+            prof.start("serve")
+            prof.start("warmup")
         if not oracle:
             # Pay the fastpath plan compilation for the routing path
             # (and, with n_workers == 1, the prediction path) before
@@ -310,6 +325,8 @@ class Server:
                 min(self.max_batch_size, images.shape[0]),
                 sample_shape=images.shape[1:],
             )
+        if prof is not None:
+            prof.stop()  # warmup
 
         log = RequestLog(arrival_s)
         if codes is not None:
@@ -332,6 +349,8 @@ class Server:
 
         def dispatch(indices: list[int], flush_s: float) -> None:
             nonlocal busy_s
+            if prof is not None:
+                prof.start("dispatch")
             # One list→array conversion reused by every fancy-index op.
             idx = np.asarray(indices, dtype=np.intp)
             decision = self.backend.route(images[idx])
@@ -360,6 +379,8 @@ class Server:
                 for i in indices:
                     heapq.heappush(inserts, (done, i, keys[i]))
             batches.append((idx, decision))
+            if prof is not None:
+                prof.stop()  # dispatch
 
         def cache_hit(i: int, now: float) -> bool:
             """Settle visible results, then try to answer ``i`` from cache."""
@@ -376,6 +397,8 @@ class Server:
             completion[i] = now + self.cache_lookup_s
             return True
 
+        if prof is not None:
+            prof.start("event_loop")
         if classes is not None:
             self._pump_classes(
                 arrival_s, codes, classes, keys, cache_hit, dispatch,
@@ -388,21 +411,39 @@ class Server:
                 while batcher and batcher.deadline_s <= now:
                     flush_at = batcher.deadline_s
                     dispatch(batcher.flush(), flush_at)
-                if keys is not None and cache_hit(i, now):
-                    continue
-                batcher.add(i, now)
+                if prof is not None:
+                    prof.start("ingest")
+                    hit = keys is not None and cache_hit(i, now)
+                    if not hit:
+                        batcher.add(i, now)
+                    prof.stop()  # ingest
+                    if hit:
+                        continue
+                else:
+                    if keys is not None and cache_hit(i, now):
+                        continue
+                    batcher.add(i, now)
                 if batcher.should_flush(now):
                     dispatch(batcher.flush(), now)
             while batcher:
                 flush_at = batcher.deadline_s
                 dispatch(batcher.flush(), flush_at)
+        if prof is not None:
+            prof.stop()  # event_loop
+            prof.start("inference")
 
         self._fill_predictions(log, batches, images)
+        if prof is not None:
+            prof.stop()  # inference
+            prof.start("report")
         report = self._report(
             log, batches, arrival_s, labels, cache, busy_s, scenario, classes
         )
         if obs is not None:
             obs.finalize(log, classes=classes)
+        if prof is not None:
+            prof.stop()  # report
+            prof.stop()  # serve
         return report, log
 
     def _pump_classes(
@@ -435,6 +476,7 @@ class Server:
                 return free
             return max(batcher.deadline_s, free)
 
+        prof = self.prof
         code_list = codes.tolist()
         for i, now in enumerate(arrival_s.tolist()):
             while batcher:
@@ -442,9 +484,18 @@ class Server:
                 if t > now:
                     break
                 dispatch(batcher.flush(), t)
-            if keys is not None and cache_hit(i, now):
-                continue
-            batcher.add(i, now, cls=code_list[i])
+            if prof is not None:
+                prof.start("ingest")
+                hit = keys is not None and cache_hit(i, now)
+                if not hit:
+                    batcher.add(i, now, cls=code_list[i])
+                prof.stop()  # ingest
+                if hit:
+                    continue
+            else:
+                if keys is not None and cache_hit(i, now):
+                    continue
+                batcher.add(i, now, cls=code_list[i])
             while batcher:
                 t = next_flush_s()
                 if t > now:

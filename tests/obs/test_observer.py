@@ -125,20 +125,35 @@ class TestChromeExport:
         assert len(events) == n
         phases = {e["ph"] for e in events}
         assert phases >= {"M", "X"}
-        # Two process lanes: replicas (0) and requests (1).
-        assert {e["pid"] for e in events} == {0, 1}
+        # Three process lanes: replicas (0), requests (1), resources (2).
+        assert {e["pid"] for e in events} == {0, 1, 2}
         for e in events:
             if e["ph"] == "X":
                 assert e["dur"] >= 0.0
+
+    def test_counters_optional(self, tmp_path):
+        sc = make_scenario(3)
+        _, _, obs = run_traced(sc)
+        path = tmp_path / "no_counters.json"
+        obs.chrome_trace(path, counters=False)
+        events = json.loads(path.read_text())["traceEvents"]
+        assert {e["pid"] for e in events} == {0, 1}
 
     def test_request_lane_capped(self, tmp_path):
         sc = make_scenario(4)
         _, _, obs = run_traced(sc)
         path = tmp_path / "capped.json"
         obs.chrome_trace(path, max_requests=5)
-        events = json.loads(path.read_text())["traceEvents"]
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
         request_tids = {e["tid"] for e in events if e.get("pid") == 1 and e["ph"] == "X"}
         assert len(request_tids) <= 5
+        # The cap is accounted for in the export metadata, not silent.
+        meta = doc["metadata"]
+        assert meta["max_requests"] == 5
+        assert meta["request_lanes_kept"] == len(request_tids)
+        assert meta["request_lanes_dropped"] > 0
+        assert meta["events_dropped"] >= meta["request_lanes_dropped"]
 
     def test_export_before_finalize_raises(self, tmp_path):
         with pytest.raises(RuntimeError, match="finalize"):

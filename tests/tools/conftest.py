@@ -1,0 +1,13 @@
+"""Puts ``tools/`` on sys.path so the dev scripts import as modules.
+
+The scripts under ``tools/`` are executables, not package members; the
+tests import them directly (``import bench_history``) the same way the
+scripts import each other when run from their own directory.
+"""
+
+import sys
+from pathlib import Path
+
+TOOLS_DIR = Path(__file__).resolve().parents[2] / "tools"
+if str(TOOLS_DIR) not in sys.path:
+    sys.path.insert(0, str(TOOLS_DIR))

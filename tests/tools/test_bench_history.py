@@ -1,0 +1,129 @@
+"""Bench-history analytics: series building, changepoints, rendering.
+
+Unit tests feed synthetic ``BENCH_<n>.json`` payloads through the pure
+functions; the integration test runs the real trajectory at the repo
+root and pins the one step change everyone knows is there — the
+oracle-table speedup — as the top-ranked changepoint.
+"""
+
+import pytest
+
+import bench_history
+from bench_history import (
+    build_series,
+    detect_changepoints,
+    load_records,
+    render_markdown,
+)
+
+
+def record(index: int, **medians_s) -> tuple[int, dict]:
+    return index, {"schema": 1, "medians_s": medians_s}
+
+
+class TestBuildSeries:
+    def test_series_carry_their_own_indices(self):
+        records = [
+            record(0, a=1.0, b=2.0),
+            record(1, a=1.1),           # b absent: benchmarks come and go
+            record(3, a=1.2, b=2.2),    # gaps in the index are fine
+        ]
+        series = build_series(records)
+        assert series["a"] == [(0, 1.0), (1, 1.1), (3, 1.2)]
+        assert series["b"] == [(0, 2.0), (3, 2.2)]
+
+    def test_empty_records(self):
+        assert build_series([]) == {}
+
+
+class TestDetectChangepoints:
+    def test_steps_inside_threshold_are_ignored(self):
+        series = build_series([record(0, a=1.0), record(1, a=1.15)])
+        assert detect_changepoints(series, threshold=0.2) == []
+
+    def test_improvement_and_regression_kinds(self):
+        series = build_series(
+            [record(0, fast=1.0, slow=1.0), record(1, fast=0.2, slow=1.5)]
+        )
+        points = detect_changepoints(series, threshold=0.2)
+        kinds = {p["test"]: p["kind"] for p in points}
+        assert kinds == {"fast": "improvement", "slow": "regression"}
+
+    def test_sorted_by_magnitude_speedups_rank_like_slowdowns(self):
+        # A 5x speedup must outrank a 2x slowdown, and vice versa: the
+        # sort key is symmetric in direction.
+        series = build_series(
+            [record(0, a=1.0, b=1.0), record(1, a=0.2, b=2.0)]
+        )
+        points = detect_changepoints(series, threshold=0.2)
+        assert [p["test"] for p in points] == ["a", "b"]
+
+    def test_adjacent_pairs_only(self):
+        # 1.0 -> 1.15 -> 1.3: no adjacent step breaches 20% even though
+        # the endpoints drifted 30% — drift is not a changepoint.
+        series = build_series(
+            [record(0, a=1.0), record(1, a=1.15), record(2, a=1.3)]
+        )
+        assert detect_changepoints(series, threshold=0.2) == []
+
+    def test_zero_median_is_skipped(self):
+        series = build_series([record(0, a=0.0), record(1, a=1.0)])
+        assert detect_changepoints(series) == []
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError, match="threshold"):
+            detect_changepoints({}, threshold=0.0)
+
+
+class TestRenderMarkdown:
+    def test_report_marks_changepoints(self):
+        records = [record(0, **{"benchmarks/t.py::x": 1.0}),
+                   record(1, **{"benchmarks/t.py::x": 0.3})]
+        series = build_series(records)
+        points = detect_changepoints(series)
+        text = render_markdown(records, series, points)
+        assert "# Benchmark history" in text
+        assert "t.py::x" in text
+        assert "**changepoint**" in text
+        assert "improvement" in text
+
+    def test_empty_history_renders_a_hint(self):
+        text = render_markdown([], {}, [])
+        assert "bench-record" in text
+
+
+class TestRealTrajectory:
+    """The repo's own BENCH_* sequence, as `make bench-report` sees it."""
+
+    @pytest.fixture(scope="class")
+    def records(self):
+        records = load_records()
+        if len(records) < 4:
+            pytest.skip("repo has fewer than 4 recorded baselines")
+        return records
+
+    def test_oracle_speedup_is_the_top_changepoint(self, records):
+        """The oracle-table PR's ~6x speedup must rank first.
+
+        That step (BENCH_2 -> BENCH_3 on the fleet/serving benches) is
+        the largest single move in the repo's history; any future record
+        big enough to displace it would itself be headline news.
+        """
+        points = detect_changepoints(build_series(records))
+        assert points, "the known speedup went undetected"
+        top = points[0]
+        assert top["kind"] == "improvement"
+        assert (top["from_index"], top["to_index"]) == (2, 3)
+        assert top["ratio"] < 0.5
+
+    def test_render_covers_every_record(self, records):
+        text = render_markdown(
+            records,
+            build_series(records),
+            detect_changepoints(build_series(records)),
+        )
+        for index, _ in records:
+            assert f"BENCH_{index}" in text
+
+    def test_default_threshold_matches_module_constant(self):
+        assert bench_history.DEFAULT_THRESHOLD == pytest.approx(0.2)

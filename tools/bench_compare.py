@@ -16,10 +16,18 @@ trajectory:
   and go); absolute times across machines are not comparable, so CI
   runs ``check`` in smoke mode mainly to prove the harness itself works.
 
+Attribution: on a regression, ``check`` re-runs the failing suites with
+the :mod:`repro.obs.prof` phase profiler enabled (``REPRO_PROF=1``) and
+prints where the wall-clock time went — and, when the baseline record
+carries phase shares (``record --profile``), names the top regressing
+phase.  Both modes also write a machine-readable JSON report next to
+the console output (``--report``, default
+``benchmarks/results/bench_check.json`` / ``bench_record.json``).
+
 Usage::
 
-    python tools/bench_compare.py record [--suites ...]
-    python tools/bench_compare.py check  [--suites ...] [--rtol 0.15]
+    python tools/bench_compare.py record [--suites ...] [--profile]
+    python tools/bench_compare.py check  [--suites ...] [--rtol 0.15] [--no-profile]
 """
 
 from __future__ import annotations
@@ -68,6 +76,16 @@ def existing_records() -> list[tuple[int, Path]]:
     return sorted(records)
 
 
+def _pytest_env() -> dict[str, str]:
+    # Make `python tools/bench_compare.py ...` work from a fresh clone,
+    # without requiring `pip install -e .` or the Makefile's export.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
 def run_benchmarks(suites: list[str]) -> dict[str, float]:
     """Run ``suites`` under pytest-benchmark; return {test_id: median_s}."""
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
@@ -81,14 +99,8 @@ def run_benchmarks(suites: list[str]) -> dict[str, float]:
         "--benchmark-only",
         f"--benchmark-json={json_path}",
     ]
-    # Make `python tools/bench_compare.py ...` work from a fresh clone,
-    # without requiring `pip install -e .` or the Makefile's export.
-    env = dict(os.environ)
-    env["PYTHONPATH"] = str(REPO / "src") + (
-        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
-    )
     try:
-        proc = subprocess.run(cmd, cwd=REPO, env=env)
+        proc = subprocess.run(cmd, cwd=REPO, env=_pytest_env())
         if proc.returncode != 0:
             raise SystemExit(f"benchmark run failed (exit {proc.returncode})")
         data = json.loads(json_path.read_text())
@@ -101,7 +113,54 @@ def run_benchmarks(suites: list[str]) -> dict[str, float]:
     return medians
 
 
-def cmd_record(suites: list[str]) -> int:
+def run_profiled(suites: list[str]) -> dict | None:
+    """Re-run ``suites`` with the phase profiler on; return the report dict.
+
+    Sets ``REPRO_PROF=1`` so every engine built in the child process
+    attaches to one process-global :class:`repro.obs.prof.PhaseProfiler`
+    whose merged report (``PhaseReport.to_dict``) is dumped at exit to
+    ``REPRO_PROF_OUT``.  Profiled medians are NOT recorded — profiling
+    adds measurable overhead; only the phase *shares* are meaningful.
+    Returns ``None`` when the profiled run fails or records no phases.
+    """
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        out_path = Path(tmp.name)
+    env = _pytest_env()
+    env["REPRO_PROF"] = "1"
+    env["REPRO_PROF_OUT"] = str(out_path)
+    cmd = [sys.executable, "-m", "pytest", *suites, "-q", "--benchmark-only"]
+    try:
+        proc = subprocess.run(cmd, cwd=REPO, env=env)
+        if proc.returncode != 0:
+            return None
+        payload = json.loads(out_path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    finally:
+        out_path.unlink(missing_ok=True)
+    return payload if payload.get("phases") else None
+
+
+def _phase_lines(profile: dict, top: int = 8) -> list[str]:
+    """Human lines for the top self-time phases of one profile dict."""
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.obs.prof import PhaseReport
+
+    report = PhaseReport.from_dict(profile)
+    by_name = sorted(report.by_name().items(), key=lambda kv: kv[1][2], reverse=True)
+    total = sum(s for _, (_, _, s) in by_name) or 1.0
+    return [
+        f"    {name:<16} {self_s:8.3f}s self ({self_s / total:5.1%}), {count} calls"
+        for name, (count, _total_s, self_s) in by_name[:top]
+    ]
+
+
+def _write_report(path: Path, payload: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def cmd_record(suites: list[str], profile: bool, report_path: Path) -> int:
     """Record a new ``BENCH_<n>.json`` baseline."""
     medians = run_benchmarks(suites)
     records = existing_records()
@@ -113,28 +172,46 @@ def cmd_record(suites: list[str]) -> int:
         "suites": list(suites),
         "medians_s": dict(sorted(medians.items())),
     }
+    if profile:
+        # A second, profiled pass: medians above stay clean; the phase
+        # shares give future `check` failures a baseline to diff against.
+        phases = run_profiled(suites)
+        if phases is not None:
+            payload["phases"] = phases
+            print("recorded phase profile alongside the medians")
+        else:
+            print("profiled pass produced no phase report (skipped)")
     out.write_text(json.dumps(payload, indent=2) + "\n")
+    _write_report(report_path, {"mode": "record", "record": out.name, **payload})
     print(f"recorded {len(medians)} medians -> {out.name}")
     return 0
 
 
-def cmd_check(suites: list[str], rtol: float) -> int:
-    """Compare a fresh run against the latest recorded baseline."""
+def cmd_check(suites: list[str], rtol: float, profile: bool, report_path: Path) -> int:
+    """Compare a fresh run against the latest recorded baseline.
+
+    On regression, re-runs the failing suites under the phase profiler
+    (unless ``--no-profile``) so the failure names the engine phase the
+    wall-clock time moved into, not just the slowed test.
+    """
     records = existing_records()
     if not records:
         print("no BENCH_<n>.json baseline found; run `make bench-record` first")
         return 1
     baseline_path = records[-1][1]
-    baseline = json.loads(baseline_path.read_text())["medians_s"]
+    baseline_payload = json.loads(baseline_path.read_text())
+    baseline = baseline_payload["medians_s"]
     medians = run_benchmarks(suites)
 
-    failures, lines = [], []
+    failures, lines, results = [], [], {}
     for name in sorted(set(baseline) | set(medians)):
         if name not in medians:
             lines.append(f"  [gone]   {name} (in {baseline_path.name} only)")
+            results[name] = {"status": "gone", "baseline_s": baseline[name]}
             continue
         if name not in baseline:
             lines.append(f"  [new]    {name} median={medians[name] * 1e3:.3f} ms")
+            results[name] = {"status": "new", "median_s": medians[name]}
             continue
         ratio = medians[name] / baseline[name]
         status = "ok"
@@ -145,12 +222,53 @@ def cmd_check(suites: list[str], rtol: float) -> int:
             f"  [{status:9s}] {name}: {baseline[name] * 1e3:.3f} -> "
             f"{medians[name] * 1e3:.3f} ms ({ratio:.2f}x)"
         )
+        results[name] = {
+            "status": "regressed" if status == "REGRESSED" else "ok",
+            "baseline_s": baseline[name],
+            "median_s": medians[name],
+            "ratio": ratio,
+        }
     print(f"benchmark check vs {baseline_path.name} (rtol {rtol:.0%}):")
     print("\n".join(lines))
+
+    report = {
+        "mode": "check",
+        "baseline": baseline_path.name,
+        "rtol": rtol,
+        "checked_unix": int(time.time()),
+        "results": results,
+        "failures": failures,
+    }
     if failures:
         print(f"{len(failures)} benchmark(s) regressed > {rtol:.0%}")
+        if profile:
+            failing_suites = sorted({name.split("::", 1)[0] for name in failures})
+            print(f"re-running {len(failing_suites)} failing suite(s) under the "
+                  "phase profiler for attribution ...")
+            profiled = run_profiled(failing_suites)
+            if profiled is None:
+                print("  (profiled re-run produced no phase report)")
+            else:
+                report["profile"] = profiled
+                print("  wall-clock phases of the regressed suites (self time):")
+                for line in _phase_lines(profiled):
+                    print(line)
+                base_profile = baseline_payload.get("phases")
+                if base_profile:
+                    sys.path.insert(0, str(REPO / "src"))
+                    from repro.obs.prof import top_regressing_phase
+
+                    worst = top_regressing_phase(base_profile, profiled)
+                    report["top_regressing_phase"] = worst
+                    print(f"  top regressing phase vs {baseline_path.name}: {worst}")
+                else:
+                    print(f"  ({baseline_path.name} has no recorded phases — "
+                          "run `record --profile` to enable phase deltas)")
+        _write_report(report_path, report)
+        print(f"report -> {report_path}")
         return 1
-    print("no regressions")
+    _write_report(report_path, report)
+    print(f"no regressions (report -> {report_path})")
     return 0
 
 
@@ -161,10 +279,20 @@ def main() -> int:
     parser.add_argument("--suites", nargs="+", default=list(DEFAULT_SUITES))
     parser.add_argument("--rtol", type=float, default=0.15,
                         help="allowed median slowdown before check fails")
+    parser.add_argument("--profile", action="store_true",
+                        help="record: add a profiled pass storing phase shares")
+    parser.add_argument("--no-profile", action="store_true",
+                        help="check: skip the profiled re-run of failing suites")
+    parser.add_argument("--report", type=Path, default=None,
+                        help="machine-readable JSON report path (default "
+                             "benchmarks/results/bench_<mode>.json)")
     args = parser.parse_args()
+    report_path = args.report or (
+        REPO / "benchmarks" / "results" / f"bench_{args.mode}.json"
+    )
     if args.mode == "record":
-        return cmd_record(args.suites)
-    return cmd_check(args.suites, args.rtol)
+        return cmd_record(args.suites, args.profile, report_path)
+    return cmd_check(args.suites, args.rtol, not args.no_profile, report_path)
 
 
 if __name__ == "__main__":

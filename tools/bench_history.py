@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Bench-history analytics over the ``BENCH_<n>.json`` trajectory.
+
+``bench_compare`` answers "did THIS run regress against the latest
+baseline"; this tool answers the longitudinal questions: how has each
+benchmark trended across every recorded baseline, and where did the
+step changes happen?  It ingests the full ``BENCH_*.json`` sequence at
+the repo root, builds one time series per test, marks **changepoints**
+(a median moving by more than ``--threshold`` between consecutive
+records — the PR-sized jumps, e.g. the oracle-table speedup), and
+renders a markdown report (`make bench-report`)::
+
+    python tools/bench_history.py [--out PATH] [--threshold 0.2]
+
+The report has one table per benchmark test — index, recorded median,
+ratio vs the previous record, a changepoint mark — plus a summary of
+every detected changepoint sorted by magnitude.  All pure functions
+take explicit inputs so the analytics are unit-testable without
+touching the filesystem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+#: Consecutive-record median ratio beyond which a step is a changepoint.
+DEFAULT_THRESHOLD = 0.2
+
+
+def load_records(repo: Path = REPO) -> list[tuple[int, dict]]:
+    """All ``BENCH_<n>.json`` payloads at the repo root, index order."""
+    from bench_compare import existing_records
+
+    out = []
+    for index, path in existing_records():
+        payload = json.loads(path.read_text())
+        out.append((index, payload))
+    return out
+
+
+def build_series(records: list[tuple[int, dict]]) -> dict[str, list[tuple[int, float]]]:
+    """Per-test median series: ``{test_name: [(record_index, median_s)]}``.
+
+    Test names are the pytest fullnames stored in ``medians_s``; a test
+    absent from some records (benchmarks come and go) simply has gaps —
+    each series carries its own record indices.
+    """
+    series: dict[str, list[tuple[int, float]]] = {}
+    for index, payload in records:
+        for name, median in payload.get("medians_s", {}).items():
+            series.setdefault(name, []).append((index, float(median)))
+    return series
+
+
+def detect_changepoints(
+    series: dict[str, list[tuple[int, float]]],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> list[dict]:
+    """Consecutive-record steps larger than ``threshold``, biggest first.
+
+    A changepoint is a pair of *adjacent* records for one test whose
+    median ratio leaves ``[1 - threshold, 1 + threshold]``.  Returns
+    dicts with ``test``, ``from_index``/``to_index``, the two medians,
+    ``ratio`` (new/old), and ``kind`` (``"improvement"`` if the ratio
+    dropped, ``"regression"`` if it grew), sorted by step magnitude
+    (``abs(log(ratio))`` — a 3x slowdown and a 3x speedup rank equal).
+    """
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    points = []
+    for name, values in series.items():
+        for (i0, m0), (i1, m1) in zip(values, values[1:]):
+            if m0 <= 0:
+                continue
+            ratio = m1 / m0
+            if 1.0 - threshold <= ratio <= 1.0 + threshold:
+                continue
+            points.append(
+                {
+                    "test": name,
+                    "from_index": i0,
+                    "to_index": i1,
+                    "from_s": m0,
+                    "to_s": m1,
+                    "ratio": ratio,
+                    "kind": "improvement" if ratio < 1.0 else "regression",
+                }
+            )
+    # log-magnitude sort; max() over the pair avoids importing math
+    points.sort(key=lambda p: max(p["ratio"], 1.0 / p["ratio"]), reverse=True)
+    return points
+
+
+def _short(name: str) -> str:
+    """``benchmarks/test_x.py::test_y`` -> ``test_x.py::test_y``."""
+    return name.split("/", 1)[1] if "/" in name else name
+
+
+def render_markdown(
+    records: list[tuple[int, dict]],
+    series: dict[str, list[tuple[int, float]]],
+    changepoints: list[dict],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> str:
+    """The full bench-history report as GitHub-flavoured markdown."""
+    lines = ["# Benchmark history", ""]
+    if not records:
+        lines.append("No `BENCH_<n>.json` records found — run `make bench-record`.")
+        return "\n".join(lines) + "\n"
+    first, last = records[0][0], records[-1][0]
+    lines.append(
+        f"{len(records)} recorded baselines (`BENCH_{first}` … `BENCH_{last}`), "
+        f"{len(series)} benchmark tests, changepoint threshold ±{threshold:.0%} "
+        "between consecutive records."
+    )
+    lines.append("")
+
+    lines.append("## Changepoints")
+    lines.append("")
+    if changepoints:
+        lines.append("| test | step | median | ratio | kind |")
+        lines.append("|---|---|---|---|---|")
+        for p in changepoints:
+            lines.append(
+                f"| `{_short(p['test'])}` "
+                f"| BENCH_{p['from_index']} → BENCH_{p['to_index']} "
+                f"| {p['from_s'] * 1e3:.1f} → {p['to_s'] * 1e3:.1f} ms "
+                f"| {p['ratio']:.2f}x | {p['kind']} |"
+            )
+    else:
+        lines.append(f"No step larger than ±{threshold:.0%} between consecutive records.")
+    lines.append("")
+
+    marked = {(p["test"], p["to_index"]) for p in changepoints}
+    lines.append("## Per-test trajectories")
+    for name in sorted(series):
+        values = series[name]
+        lines.append("")
+        lines.append(f"### `{_short(name)}`")
+        lines.append("")
+        lines.append("| record | median | vs prev | |")
+        lines.append("|---|---|---|---|")
+        prev = None
+        for index, median in values:
+            if prev is None or prev <= 0:
+                ratio_cell = "—"
+            else:
+                ratio_cell = f"{median / prev:.2f}x"
+            mark = "**changepoint**" if (name, index) in marked else ""
+            lines.append(
+                f"| BENCH_{index} | {median * 1e3:.2f} ms | {ratio_cell} | {mark} |"
+            )
+            prev = median
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main() -> int:
+    """CLI entry point (`make bench-report`)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO / "benchmarks" / "results" / "bench_history.md",
+        help="markdown report path (default benchmarks/results/bench_history.md)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="consecutive-record ratio marking a changepoint (default 0.2)",
+    )
+    args = parser.parse_args()
+
+    records = load_records()
+    series = build_series(records)
+    changepoints = detect_changepoints(series, args.threshold)
+    report = render_markdown(records, series, changepoints, args.threshold)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(report)
+    n_imp = sum(1 for p in changepoints if p["kind"] == "improvement")
+    n_reg = len(changepoints) - n_imp
+    print(
+        f"bench history: {len(records)} records, {len(series)} tests, "
+        f"{len(changepoints)} changepoints ({n_imp} improvements, "
+        f"{n_reg} regressions) -> {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

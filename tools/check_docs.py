@@ -3,7 +3,8 @@
 
 Three gates, all offline and fast:
 
-1. the documentation suite exists (README.md, docs/architecture.md);
+1. the documentation suite exists (README.md, the docs/ pages) and the
+   registered example scripts exist and compile;
 2. every ```python code block in README.md compiles (syntax-checks the
    quickstart/serving tour without paying for training — `make test`
    and the examples exercise them for real);
@@ -43,13 +44,34 @@ REQUIRED_DOCS = (
     "docs/observability.md",
 )
 
+#: Runnable walkthroughs referenced from the docs; each must exist and
+#: compile (execution is covered by the layer smokes, not this gate).
+REQUIRED_EXAMPLES = (
+    "examples/quickstart.py",
+    "examples/serving_demo.py",
+    "examples/fleet_demo.py",
+    "examples/offload_demo.py",
+    "examples/obs_demo.py",
+    "examples/prof_demo.py",
+)
+
 
 def check_docs_exist() -> list[str]:
-    return [
+    errors = [
         f"missing documentation file: {rel}"
         for rel in REQUIRED_DOCS
         if not (REPO / rel).exists()
     ]
+    for rel in REQUIRED_EXAMPLES:
+        path = REPO / rel
+        if not path.exists():
+            errors.append(f"missing example script: {rel}")
+            continue
+        try:
+            compile(path.read_text(), rel, "exec")
+        except SyntaxError as exc:
+            errors.append(f"{rel} does not compile: {exc}")
+    return errors
 
 
 def check_readme_code_blocks(run: bool = False) -> list[str]:
