@@ -11,6 +11,8 @@
 #                     batcher, FIFO-vs-priority experiment on toy fleets
 #   make chaos-smoke  robustness smoke: chaos invariants under random fault
 #                     storms, fault/breaker/retry units, chaos experiment
+#   make netchaos-smoke  network-chaos smoke: netsim units (sessions, AIMD,
+#                     shared links), link-storm invariants, netchaos verdict
 #   make obs-smoke    observability smoke: span-tree well-formedness,
 #                     metrics/SLO units, oracle-vs-live telemetry parity
 #   make prof-smoke   profiler smoke: phase-tree determinism + exports on
@@ -32,7 +34,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test fleet-smoke offload-smoke sim-smoke tenants-smoke chaos-smoke obs-smoke prof-smoke bench-smoke bench bench-record bench-check bench-report docs-check docs-run lint
+.PHONY: test fleet-smoke offload-smoke sim-smoke tenants-smoke chaos-smoke netchaos-smoke obs-smoke prof-smoke bench-smoke bench bench-record bench-check bench-report docs-check docs-run lint
 
 test:
 	$(PYTHON) -m pytest tests -x -q
@@ -58,6 +60,14 @@ tenants-smoke:
 chaos-smoke:
 	$(PYTHON) -m pytest tests/chaos tests/faults \
 	    tests/experiments/test_chaos.py -q
+
+# Network chaos: netsim units (sessions/AIMD/shared links/transport),
+# link-storm invariants over the offload fleet, and the netchaos
+# experiment's strict naive-vs-resilient verdict.
+netchaos-smoke:
+	$(PYTHON) -m pytest tests/netsim tests/chaos/test_netchaos_invariants.py \
+	    tests/offload/test_session_offload.py \
+	    tests/experiments/test_netchaos.py -q
 
 # tests/obs also carries its own conftest.py (see the chaos-smoke note),
 # so it gets a standalone invocation.

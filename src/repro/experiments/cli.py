@@ -11,6 +11,7 @@ Examples
     cbnet-experiment fleet --fast
     cbnet-experiment tenants --fast
     cbnet-experiment chaos --fast
+    cbnet-experiment netchaos --fast --link lte
     cbnet-experiment obs --fast --trace-out trace.json
     cbnet-experiment prof --fast --prof-out profile.speedscope.json
     cbnet-experiment offload --fast --link lte
@@ -33,6 +34,7 @@ from repro.experiments.common import DATASETS
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.fleet import FLEET_SCENARIOS, run_fleet_comparison
+from repro.experiments.netchaos import run_netchaos_comparison
 from repro.experiments.obs import run_obs_study
 from repro.experiments.offload import run_offload_study
 from repro.experiments.prof import run_prof_study
@@ -64,6 +66,7 @@ def main(argv: list[str] | None = None) -> int:
             "fleet",
             "tenants",
             "chaos",
+            "netchaos",
             "obs",
             "prof",
             "offload",
@@ -194,6 +197,14 @@ def main(argv: list[str] | None = None) -> int:
                 seed=args.seed,
                 dataset=args.dataset or "mnist",
                 live=args.live,
+            ).render()
+        )
+    if args.experiment in ("netchaos", "all"):
+        emit(
+            run_netchaos_comparison(
+                fast=args.fast,
+                seed=args.seed,
+                link_name=args.link,
             ).render()
         )
     if args.experiment in ("obs", "all"):

@@ -48,7 +48,38 @@ __all__ = [
     "partition_window",
     "flaky_window",
     "fault_storm",
+    "validate_windows",
 ]
+
+
+def validate_windows(
+    windows, what: str = "outage", owner: str = ""
+) -> tuple[tuple[float, float], ...]:
+    """Validate declared ``(start_s, end_s)`` windows; return them normalized.
+
+    The one validator every layer that declares time windows shares —
+    :class:`~repro.hw.network.NetworkLink` outages, the
+    :mod:`repro.netsim` link fault plans — so "sorted, disjoint,
+    end > start" means the same thing (and raises the same
+    ``ValueError``) everywhere.  ``owner`` prefixes messages with the
+    declaring object's name; ``what`` names the window kind.
+    """
+    prefix = f"{owner}: " if owner else ""
+    normalized: list[tuple[float, float]] = []
+    last_end = -float("inf")
+    for start, end in windows:
+        start, end = float(start), float(end)
+        if end <= start:
+            raise ValueError(
+                f"{prefix}{what} window ({start}, {end}) must have end > start"
+            )
+        if start < last_end:
+            raise ValueError(
+                f"{prefix}{what} windows must be sorted and non-overlapping"
+            )
+        last_end = end
+        normalized.append((start, end))
+    return tuple(normalized)
 
 SLOWDOWN = "slowdown"
 PARTITION = "partition"

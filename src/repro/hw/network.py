@@ -39,6 +39,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.faults.plan import validate_windows
+
 __all__ = [
     "BandwidthTrace",
     "NetworkLink",
@@ -180,17 +182,11 @@ class NetworkLink:
                 f"{self.name}: retry_backoff_mult must be >= 1, "
                 f"got {self.retry_backoff_mult}"
             )
-        last_end = -float("inf")
-        for start, end in self.outages:
-            if end <= start:
-                raise ValueError(
-                    f"{self.name}: outage window ({start}, {end}) must have end > start"
-                )
-            if start < last_end:
-                raise ValueError(
-                    f"{self.name}: outage windows must be sorted and non-overlapping"
-                )
-            last_end = end
+        object.__setattr__(
+            self,
+            "outages",
+            validate_windows(self.outages, what="outage", owner=self.name),
+        )
 
     # ------------------------------------------------------------------ #
     # deterministic components
@@ -224,18 +220,57 @@ class NetworkLink:
         mbps = self.uplink_mbps if direction == "up" else self.downlink_mbps
         return 8.0 * n_bytes / (mbps * 1e6 * self.bandwidth_scale(time_s))
 
+    def expected_attempts(self) -> float:
+        """Expected serialization attempts per delivery, budget included.
+
+        The attempt count is ``min(G, max_attempts)`` for geometric
+        ``G`` (success rate ``1 - loss_rate``), so its mean is the
+        *truncated* series ``(1 - p^K) / (1 - p)`` — not the unbounded
+        ``1 / (1 - p)`` the pre-budget planner used.
+        """
+        p = self.loss_rate
+        if p == 0.0:
+            return 1.0
+        return (1.0 - p**self.max_attempts) / (1.0 - p)
+
+    def expected_timeout_s(self) -> float:
+        """Expected total retransmit-timeout wait per delivery.
+
+        Retry ``k`` happens iff the first ``k`` attempts all failed
+        (probability ``p^k``) and the budget allows another, and waits
+        ``rtt * mult^(k-1)`` — so the mean is the finite sum
+        ``rtt * Σ_{k=1}^{K-1} p^k mult^(k-1)``, which reduces to the
+        historical ``(1/(1-p) - 1) * rtt`` only for an unbounded budget
+        with flat timeouts.
+        """
+        p, cap, mult = self.loss_rate, self.max_attempts, self.retry_backoff_mult
+        if p == 0.0 or cap == 1:
+            return 0.0
+        ratio = p * mult
+        if abs(ratio - 1.0) < 1e-12:
+            total = p * (cap - 1)
+        else:
+            total = p * (ratio ** (cap - 1) - 1.0) / (ratio - 1.0)
+        return self.rtt_s * total
+
     def expected_one_way_s(
         self, n_bytes: int, time_s: float = 0.0, direction: str = "up"
     ) -> float:
         """Deterministic planning estimate of one delivery (no sampling).
 
-        Uses the expected attempt count ``1 / (1 - loss_rate)`` and the
-        mean jitter — the number the partition planner and the
-        deadline-aware policy reason with.
+        Uses the budget-truncated expected attempt count, the
+        backoff-aware expected retransmit-timeout wait, and the mean
+        jitter — the same quantities :meth:`transfer` samples, so the
+        partition planner and the deadline-aware policy reason about
+        the link the sampler actually implements.
         """
         tx = self.serialization_s(n_bytes, time_s, direction)
-        attempts = 1.0 / (1.0 - self.loss_rate)
-        return attempts * tx + (attempts - 1.0) * self.rtt_s + self.rtt_s / 2.0 + self.jitter_s
+        return (
+            self.expected_attempts() * tx
+            + self.expected_timeout_s()
+            + self.rtt_s / 2.0
+            + self.jitter_s
+        )
 
     def expected_round_trip_s(
         self, up_bytes: int, down_bytes: int, time_s: float = 0.0

@@ -59,6 +59,8 @@ __all__ = [
     "EV_SCALE",
     "EV_ALERT",
     "EV_BATCH_FAIL",
+    "EV_SESSION",
+    "EV_CWND",
 ]
 
 # Interval span kinds (end_s > start_s, except zero-width degenerates).
@@ -87,7 +89,9 @@ __all__ = [
     EV_SCALE,
     EV_ALERT,
     EV_BATCH_FAIL,
-) = range(8, 20)
+    EV_SESSION,  # netsim: link session (re)established or carrier-dropped
+    EV_CWND,  # netsim: AIMD window cut (multiplicative decrease / timeout)
+) = range(8, 22)
 
 SPAN_NAMES = (
     "request",
@@ -110,6 +114,8 @@ SPAN_NAMES = (
     "scale",
     "alert",
     "batch_fail",
+    "session",
+    "cwnd",
 )
 
 NO_PARENT = -1

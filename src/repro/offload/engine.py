@@ -165,6 +165,9 @@ class OffloadReport:
     edge_energy_j: float
     radio_energy_j: float
     n_retransmits: int = 0  # lossy-link re-sends, uplink + downlink combined
+    n_sessions: int = 0  # netsim transport: sessions established (0 = legacy link)
+    n_renegotiations: int = 0  # netsim transport: conf-nak'd option rounds
+    n_flap_drops: int = 0  # netsim transport: carrier drops forcing re-establishment
     accuracy: float = float("nan")
     cloud_report: object | None = field(default=None, repr=False)
 
@@ -313,13 +316,23 @@ class EdgeTier:
         oracle-wrapped — see :func:`cloud_server_for`) serves the same
         ids.  All virtual-clock quantities stay identical to the live
         path.
+    transport:
+        Optional :class:`~repro.netsim.transport.SessionTransport`.
+        When given, every offload rides its connection session over the
+        transport's :class:`~repro.netsim.shared.SharedLink`: uplinks
+        become AIMD-paced flights (throughput emerges from loss),
+        deadline estimates come from the transport's live congestion
+        state, downlinks reserve the shared serializer, and the report
+        gains session counters.  ``link`` may then be ``None`` (the
+        transport's shared link provides name/RTT/radio power); other
+        edge tiers handed the *same* transport's link contend for it.
     """
 
     def __init__(
         self,
         branchynet,
         edge_device: DeviceProfile,
-        link: NetworkLink,
+        link: NetworkLink | None,
         cloud,
         policy: OffloadPolicy,
         codec: TensorCodec | None = None,
@@ -328,6 +341,7 @@ class EdgeTier:
         oracle=None,
         obs=None,
         prof=None,
+        transport=None,
     ) -> None:
         if not hasattr(cloud, "serve_log"):
             raise TypeError(
@@ -341,9 +355,14 @@ class EdgeTier:
                 "backend must be oracle-wrapped too — build it via "
                 "cloud_server_for(..., oracle=...)"
             )
+        if link is None and transport is None:
+            raise TypeError("EdgeTier needs a NetworkLink or a SessionTransport")
         self.branchynet = branchynet
         self.edge_device = edge_device
-        self.link = link
+        self.transport = transport
+        # In transport mode the shared link provides the name / RTT /
+        # radio-power surface the reporting path reads.
+        self.link = link if link is not None else transport.link
         self.cloud = cloud
         self.policy = policy
         self.codec = codec or TensorCodec()
@@ -458,14 +477,25 @@ class EdgeTier:
             est_local = (ready - arrival) + (0.0 if easy else self.trunk_extra_s)
             # Link legs are estimated at decision time, so trace-driven
             # bandwidth degradation reaches the deadline policy directly
-            # instead of only via an already-built uplink backlog.
-            est_remote = (
-                (ready - arrival)
-                + max(0.0, uplink_free - ready)
-                + self.link.expected_one_way_s(up_bytes, time_s=ready)
-                + self.cloud_est_s
-                + self.link.expected_one_way_s(down_bytes, time_s=ready, direction="down")
-            )
+            # instead of only via an already-built uplink backlog.  In
+            # transport mode the estimate reads *live* congestion state
+            # (AIMD window, session FSM, shared-serializer backlog), so
+            # it collapses exactly when the link does.
+            if self.transport is not None:
+                est_remote = (
+                    (ready - arrival)
+                    + self.transport.estimate_s(up_bytes, ready)
+                    + self.cloud_est_s
+                    + self.transport.estimate_down_s(down_bytes, ready)
+                )
+            else:
+                est_remote = (
+                    (ready - arrival)
+                    + max(0.0, uplink_free - ready)
+                    + self.link.expected_one_way_s(up_bytes, time_s=ready)
+                    + self.cloud_est_s
+                    + self.link.expected_one_way_s(down_bytes, time_s=ready, direction="down")
+                )
             ctx = OffloadContext(
                 entropy=float(entropies[i]),
                 easy=easy,
@@ -494,6 +524,29 @@ class EdgeTier:
             # link's max_attempts budget and surfaced in the report.
             if prof is not None:
                 prof.start("network")
+            if self.transport is not None:
+                # Session-riding uplink: the payload travels as AIMD
+                # flights over the shared serializer; handshakes, flaps,
+                # and outages are the transport's problem.
+                result = self.transport.send(up_bytes, ready)
+                if debug and (result.retx_segments or result.handshakes > 1):
+                    logger.debug(
+                        "uplink session: request %d delivered after %d flights "
+                        "(%d retx segments, %d handshakes)",
+                        i, result.flights, result.retx_segments, result.handshakes,
+                    )
+                # The radio is held until the final ack returns.
+                uplink_free = result.ack_s
+                radio_busy += result.tx_s
+                uplink_bytes_total += up_bytes
+                n_retransmits += result.retx_segments
+                cloud_arrival = result.delivered_s
+                if obs is not None:
+                    obs.on_leg(SPAN_UPLINK, i, result.start_s, cloud_arrival)
+                if prof is not None:
+                    prof.stop()  # network
+                ship.append((i, ready, cloud_arrival))
+                continue
             wanted = max(ready, uplink_free)
             tx_start = self.link.next_available(wanted)
             if debug and tx_start > wanted:
@@ -615,6 +668,19 @@ class EdgeTier:
         obs = self.obs
         debug = logger.isEnabledFor(10)  # logging.DEBUG
         for cloud_done, pos, req_id in finished:
+            if self.transport is not None:
+                # Responses reserve the shared downlink serializer.
+                tx_start = max(cloud_done, self.transport.link.free_at("down"))
+                done = self.transport.send_down(down_bytes, cloud_done)
+                downlink_free = self.transport.link.free_at("down")
+                completion[req_id] = done
+                predictions[req_id] = cloud_log.prediction[pos]
+                cloud_part[req_id] = cloud_done - cloud_arrival[pos]
+                net_part[req_id] = (cloud_arrival[pos] - ready_s[pos]) + (done - cloud_done)
+                if obs is not None:
+                    obs.on_leg(SPAN_CLOUD, req_id, float(cloud_arrival[pos]), float(cloud_done))
+                    obs.on_leg(SPAN_DOWNLINK, req_id, tx_start, done)
+                continue
             wanted = max(cloud_done, downlink_free)
             tx_start = self.link.next_available(wanted)
             if debug and tx_start > wanted:
@@ -689,6 +755,12 @@ class EdgeTier:
         span = float(arrival_s[-1] - arrival_s[0])
         n = len(arrival_s)
         offloaded = outcome == _OFFLOADED
+        n_sessions = n_renegotiations = n_flap_drops = 0
+        if self.transport is not None:
+            sess = self.transport.session
+            n_sessions = sess.n_established
+            n_renegotiations = sess.n_naks
+            n_flap_drops = sess.n_carrier_drops
         return OffloadReport(
             policy=self.policy.name,
             link=self.link.name,
@@ -725,6 +797,9 @@ class EdgeTier:
             edge_energy_j=energy_joules(self.edge_device, edge_busy),
             radio_energy_j=self.link.tx_power_w * radio_busy,
             n_retransmits=int(n_retransmits),
+            n_sessions=n_sessions,
+            n_renegotiations=n_renegotiations,
+            n_flap_drops=n_flap_drops,
             accuracy=accuracy,
             cloud_report=cloud_report,
         )

@@ -1,0 +1,137 @@
+"""Network chaos invariants: seeded link storms over a shared uplink.
+
+The offload counterpart of ``test_chaos_invariants.py``: across ten
+seeded storms (outage + degradations + flaps on one shared LTE cell),
+every fleet run must keep the transfer ledger exact —
+
+* **exactly-once delivery** — no offloaded request's response is lost
+  or delivered twice, across any amount of session churn;
+* **bounded retransmit amplification** — bytes on the wire never exceed
+  ``max_attempts`` times the payload, no matter the storm;
+* **deadline fallback** — a deadline-aware device whose remote estimate
+  cannot fit the deadline (deep in an outage) always answers locally;
+* **strict policy win** — the deadline-aware arm beats the naive
+  ship-everything arm on deadline-SLO attainment in *every* storm.
+
+Each storm is structured (guaranteed outage/degrades/flaps with seeded
+jitter), so no seed degenerates into a calm link where the arms tie.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.netchaos import _net_storm_for, run_netchaos_comparison
+from repro.hw.network import lte
+from repro.netsim import (
+    OUTAGE,
+    AIMDConfig,
+    FleetDevice,
+    SharedLink,
+    run_fleet_net,
+)
+from repro.offload.policies import DeadlineAware, EntropyGated
+from repro.utils.rng import as_generator, derive_seed
+
+SEEDS = range(10)
+
+N_REQUESTS = 80
+RATE_HZ = 15.0
+DEADLINE_S = 0.25
+HORIZON_S = N_REQUESTS / RATE_HZ
+
+SPEC = FleetDevice(
+    rate_hz=RATE_HZ,
+    n_requests=N_REQUESTS,
+    up_bytes=8_000,
+    local_s=40e-3,
+    cloud_s=4e-3,
+)
+
+
+def _storm(seed: int):
+    rng = as_generator(derive_seed(seed, "netchaos-invariants"))
+    return _net_storm_for(HORIZON_S, rng)
+
+
+def _run(seed: int, policy, n_devices: int = 3):
+    plan = _storm(seed)
+    link = SharedLink.from_network_link(lte(), faults=plan)
+    return plan, run_fleet_net(
+        link,
+        tuple(SPEC for _ in range(n_devices)),
+        policy,
+        deadline_s=DEADLINE_S,
+        rng=derive_seed(seed, "netchaos-fleet"),
+        aimd=AIMDConfig(init_cwnd=10),
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("resilient", [True, False])
+def test_exactly_once_delivery(seed, resilient):
+    policy = DeadlineAware(DEADLINE_S) if resilient else EntropyGated()
+    _, report = _run(seed, policy)
+    assert report.n_lost == 0
+    assert report.n_double_delivered == 0
+    offloaded = report.outcome == 2
+    assert (report.delivered_count[offloaded] == 1).all()
+    assert (report.delivered_count[~offloaded] == 0).all()
+    assert np.isfinite(report.completion_s).all()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_bounded_retransmit_amplification(seed):
+    _, report = _run(seed, EntropyGated())
+    assert report.retx_amplification <= 8.0  # the transports' max_attempts
+    for dev in report.devices:
+        if dev.n_offloaded:
+            assert dev.sent_bytes <= 8 * dev.delivered_bytes
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_deadline_fallback_always_fires_local(seed):
+    plan, report = _run(seed, DeadlineAware(DEADLINE_S))
+    # Deep inside the outage the remote estimate cannot fit the
+    # deadline (the link won't even be back in time), so every hard
+    # request arriving there must have answered locally.
+    (start, end) = next(
+        (f.start_s, f.end_s) for f in plan.faults if f.kind == OUTAGE
+    )
+    deep = (report.arrival_s >= start) & (report.arrival_s <= end - DEADLINE_S)
+    assert deep.any(), "storm shape guarantees a deep-outage span"
+    assert (report.outcome[deep] != 2).all()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sessions_churn_but_recover(seed):
+    _, report = _run(seed, EntropyGated())
+    drops = sum(d.carrier_drops for d in report.devices)
+    sessions = sum(d.sessions for d in report.devices)
+    assert drops >= 1  # the storm genuinely hit the fleet
+    assert sessions > drops  # every drop was followed by a re-establish
+
+
+def test_resilient_beats_naive_in_every_storm():
+    comparison = run_netchaos_comparison(fast=True, seed=0, n_storms=10)
+    assert len(comparison.runs) == 10
+    for run in comparison.runs:
+        assert run.margin > 0, (
+            f"storm {run.storm_seed}: resilient "
+            f"{run.resilient.slo_attainment:.3f} vs naive "
+            f"{run.naive.slo_attainment:.3f}"
+        )
+    assert comparison.n_wins == 10
+    assert comparison.total_lost == 0
+    assert comparison.total_double == 0
+
+
+def test_netchaos_replays_deterministically():
+    a = run_netchaos_comparison(fast=True, seed=3, n_storms=2)
+    b = run_netchaos_comparison(fast=True, seed=3, n_storms=2)
+    for ra, rb in zip(a.runs, b.runs):
+        assert ra.plan.faults == rb.plan.faults
+        for arm in ("naive", "resilient"):
+            assert np.array_equal(
+                getattr(ra, arm).completion_s, getattr(rb, arm).completion_s
+            )
+            assert getattr(ra, arm).devices == getattr(rb, arm).devices

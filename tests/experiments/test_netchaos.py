@@ -1,0 +1,65 @@
+"""Netchaos experiment smoke: run_netchaos_comparison end to end,
+including the CLI subcommand and the rendered verdict lines."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.netchaos import _net_storm_for, run_netchaos_comparison
+from repro.netsim import DEGRADE, FLAP, OUTAGE
+from repro.utils.rng import as_generator
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return run_netchaos_comparison(fast=True, seed=0, n_storms=3)
+
+
+class TestStormShape:
+    def test_every_kind_always_present(self):
+        for seed in range(6):
+            plan = _net_storm_for(40.0, as_generator(seed))
+            kinds = [f.kind for f in plan.faults]
+            assert kinds.count(OUTAGE) == 1
+            assert kinds.count(DEGRADE) == 2
+            assert kinds.count(FLAP) == 2
+
+    def test_seeded_jitter_moves_the_windows(self):
+        a = _net_storm_for(40.0, as_generator(1))
+        b = _net_storm_for(40.0, as_generator(2))
+        assert a.faults != b.faults
+
+
+class TestComparison:
+    def test_arms_share_the_fleet_shape(self, comparison):
+        for run in comparison.runs:
+            n, r = run.naive, run.resilient
+            assert n.n_requests == r.n_requests == comparison.n_requests
+            assert np.array_equal(n.arrival_s, r.arrival_s)  # same trace
+            assert n.deadline_s == r.deadline_s == comparison.deadline_s
+
+    def test_resilient_wins_each_storm(self, comparison):
+        assert comparison.n_wins == len(comparison.runs)
+        assert comparison.total_lost == 0
+        assert comparison.total_double == 0
+        for run in comparison.runs:
+            assert run.resilient.n_offloaded > 0  # it still uses the link
+
+    def test_render_carries_the_verdict(self, comparison):
+        text = comparison.render()
+        assert "Network chaos" in text
+        assert "resilient wins 3/3" in text
+        assert "0 transfers lost, 0 double-delivered" in text
+
+    def test_n_storms_validated(self):
+        with pytest.raises(ValueError, match="n_storms"):
+            run_netchaos_comparison(n_storms=0)
+
+
+class TestCli:
+    def test_netchaos_subcommand(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["netchaos", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "deadline-SLO attainment" in out
+        assert "resilient wins 10/10" in out

@@ -220,3 +220,69 @@ class TestOutages:
             _link(outages=((2.0, 1.0),))
         with pytest.raises(ValueError, match="outage"):
             _link(outages=((1.0, 3.0), (2.0, 4.0)))  # overlapping
+
+
+class TestSharedOutageValidator:
+    """The link's outage windows run through ``repro.faults.plan``'s
+    shared validator — same messages, same normalization, one code path
+    for every layer that declares windows."""
+
+    def test_messages_carry_the_owner_prefix(self):
+        with pytest.raises(ValueError, match=r"test: outage window .* end > start"):
+            _link(outages=((2.0, 1.0),))
+        with pytest.raises(
+            ValueError, match="test: outage windows must be sorted and non-overlapping"
+        ):
+            _link(outages=((1.0, 3.0), (2.0, 4.0)))
+
+    def test_matches_validate_windows_directly(self):
+        from repro.faults.plan import validate_windows
+
+        windows = ((1.0, 2.0), (3.5, 4.0))
+        link = _link(outages=windows)
+        assert link.outages == validate_windows(windows, what="outage", owner="test")
+
+
+class TestBudgetAwareEstimates:
+    """``expected_one_way_s`` must price the *bounded* retry budget —
+    the truncated attempt series and the backed-off timeout sum — not
+    the unbounded geometric mean the pre-budget planner used."""
+
+    def test_expected_attempts_is_the_truncated_series(self):
+        p, cap = 0.5, 4
+        link = _link(loss_rate=p, max_attempts=cap)
+        assert link.expected_attempts() == pytest.approx((1 - p**cap) / (1 - p))
+        # Strictly below the unbounded 1/(1-p): the budget truncates.
+        assert link.expected_attempts() < 1.0 / (1.0 - p)
+        assert _link().expected_attempts() == 1.0
+
+    def test_expected_timeout_prices_the_backoff(self):
+        p, cap, mult = 0.5, 4, 2.0
+        link = _link(loss_rate=p, max_attempts=cap, retry_backoff_mult=mult)
+        # rtt * sum_{k=1}^{cap-1} p^k mult^(k-1), by hand.
+        by_hand = link.rtt_s * sum(p**k * mult ** (k - 1) for k in range(1, cap))
+        assert link.expected_timeout_s() == pytest.approx(by_hand)
+
+    def test_timeout_handles_the_ratio_one_singularity(self):
+        link = _link(loss_rate=0.5, max_attempts=5, retry_backoff_mult=2.0)
+        # p * mult == 1: the geometric ratio degenerates to a flat sum.
+        assert link.expected_timeout_s() == pytest.approx(
+            link.rtt_s * 0.5 * (5 - 1)
+        )
+
+    def test_single_attempt_budget_never_waits(self):
+        link = _link(loss_rate=0.9, max_attempts=1)
+        assert link.expected_attempts() == pytest.approx(1.0)
+        assert link.expected_timeout_s() == 0.0
+
+    def test_estimate_tracks_sampled_transfers(self):
+        # The planning mean must sit inside the sampled distribution's
+        # support — the drift this guards against was the estimate using
+        # unbounded retries while transfer() enforced the budget.
+        link = _link(loss_rate=0.4, max_attempts=3, retry_backoff_mult=2.0)
+        rng = np.random.default_rng(0)
+        totals = [link.transfer(1000, rng=rng).total_s for _ in range(400)]
+        assert min(totals) <= link.expected_one_way_s(1000) <= max(totals)
+        assert abs(np.mean(totals) - link.expected_one_way_s(1000)) < 0.2 * np.mean(
+            totals
+        )

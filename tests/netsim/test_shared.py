@@ -1,0 +1,128 @@
+"""Shared links: validation, time-varying state, and the contended
+serializer that makes fleet devices queue behind each other."""
+
+import pytest
+
+from repro.hw.network import BandwidthTrace, lte, wifi
+from repro.netsim import (
+    LinkFaultPlan,
+    SharedLink,
+    degradation_window,
+    flap_at,
+    outage_window,
+)
+
+
+def _shared(**kwargs):
+    defaults = dict(name="cell", uplink_mbps=10.0, downlink_mbps=40.0, rtt_s=0.05)
+    defaults.update(kwargs)
+    return SharedLink(**defaults)
+
+
+class TestConstruction:
+    def test_from_network_link_copies_the_preset(self):
+        base = lte()
+        link = SharedLink.from_network_link(base)
+        assert link.name == base.name
+        assert link.uplink_mbps == base.uplink_mbps
+        assert link.rtt_s == base.rtt_s
+        assert link.loss_rate == base.loss_rate
+        assert link.up_free_s == 0.0 and link.down_free_s == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            _shared(uplink_mbps=0.0)
+        with pytest.raises(ValueError, match="loss_rate"):
+            _shared(loss_rate=1.0)
+        with pytest.raises(ValueError, match="max_mtu_bytes"):
+            _shared(max_mtu_bytes=10)
+        with pytest.raises(ValueError, match="codecs"):
+            _shared(codecs=())
+
+    def test_static_outages_use_the_shared_validator(self):
+        with pytest.raises(ValueError, match="cell: outage window"):
+            _shared(outages=((2.0, 1.0),))
+        with pytest.raises(ValueError, match="sorted and non-overlapping"):
+            _shared(outages=((0.0, 2.0), (1.0, 3.0)))
+
+
+class TestLinkStateOverTime:
+    def test_scale_composes_trace_and_fault_plan(self):
+        trace = BandwidthTrace(times_s=(0.0, 10.0), scales=(1.0, 0.5))
+        plan = LinkFaultPlan(
+            faults=(degradation_window(10.0, 5.0, bandwidth_scale=0.4),)
+        )
+        link = _shared(degradation=trace, faults=plan)
+        assert link.scale_at(0.0) == 1.0
+        assert link.scale_at(12.0) == pytest.approx(0.5 * 0.4)
+
+    def test_loss_adds_degrade_and_saturates(self):
+        plan = LinkFaultPlan(
+            faults=(degradation_window(0.0, 1.0, bandwidth_scale=0.5, loss_add=0.9),)
+        )
+        link = _shared(loss_rate=0.5, faults=plan)
+        assert link.loss_at(0.5) == 0.999  # clamped below 1
+        assert link.loss_at(2.0) == 0.5
+
+    def test_available_at_chains_static_and_plan_outages(self):
+        plan = LinkFaultPlan(faults=(outage_window(2.0, 1.0),))
+        link = _shared(outages=((1.0, 2.0),), faults=plan)
+        # The static window ends exactly where the plan outage begins:
+        # the scan must walk through both.
+        assert link.available_at(1.5) == 3.0
+        assert link.available_at(3.5) == 3.5
+
+    def test_carrier_drop_sees_both_layers(self):
+        plan = LinkFaultPlan(faults=(flap_at(5.0),))
+        link = _shared(outages=((1.0, 2.0),), faults=plan)
+        assert link.carrier_drop_in(0.5, 1.5)  # static outage onset
+        assert link.carrier_drop_in(4.0, 5.0)  # plan flap
+        assert not link.carrier_drop_in(2.5, 3.5)
+
+    def test_mtu_cap_halves_under_heavy_degradation(self):
+        plan = LinkFaultPlan(
+            faults=(degradation_window(0.0, 1.0, bandwidth_scale=0.3),)
+        )
+        link = _shared(faults=plan)
+        assert link.mtu_cap_at(0.5) == 750
+        assert link.mtu_cap_at(2.0) == 1500
+
+
+class TestSerializer:
+    def test_serialization_scales_with_degradation(self):
+        link = _shared(degradation=BandwidthTrace(times_s=(5.0,), scales=(0.5,)))
+        assert link.serialization_s(12_500, 0.0) == pytest.approx(0.01)
+        assert link.serialization_s(12_500, 6.0) == pytest.approx(0.02)
+
+    def test_reserve_is_fcfs_and_advances_the_horizon(self):
+        link = _shared()
+        s0, e0 = link.reserve(12_500, 0.0)
+        s1, e1 = link.reserve(12_500, 0.0)
+        assert (s0, e0) == (0.0, pytest.approx(0.01))
+        assert s1 == e0 and e1 == pytest.approx(0.02)
+        assert link.backlog_s(0.0) == pytest.approx(0.02)
+        assert link.backlog_s(1.0) == 0.0
+
+    def test_directions_are_independent(self):
+        link = _shared()
+        link.reserve(12_500, 0.0, "up")
+        s, _ = link.reserve(12_500, 0.0, "down")
+        assert s == 0.0
+        assert link.free_at("up") > 0 and link.free_at("down") > 0
+
+    def test_reserve_defers_past_outages(self):
+        link = _shared(outages=((0.0, 1.0),))
+        s, e = link.reserve(12_500, 0.5)
+        assert s == 1.0 and e == pytest.approx(1.01)
+
+    def test_serializer_rejects_bad_args(self):
+        link = _shared()
+        with pytest.raises(ValueError, match="n_bytes"):
+            link.serialization_s(-1)
+        with pytest.raises(ValueError, match="direction"):
+            link.serialization_s(10, 0.0, "sideways")
+
+    def test_wifi_lift_keeps_negotiation_surface(self):
+        link = SharedLink.from_network_link(wifi(), max_mtu_bytes=1400)
+        assert link.max_mtu_bytes == 1400
+        assert "float32" in link.codecs

@@ -1,0 +1,183 @@
+"""EdgeTier in transport mode: session-riding offload over a shared
+link — bandwidth collapse mid-transfer, mid-flight renegotiation, and
+oracle/--live parity on storming links."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+
+from repro.hw.devices import gci_cpu, raspberry_pi4
+from repro.hw.network import BandwidthTrace, wifi
+from repro.models.branchynet import BranchyLeNet
+from repro.netsim import (
+    AIMDConfig,
+    LinkFaultPlan,
+    SessionTransport,
+    SharedLink,
+    flap_at,
+)
+from repro.offload.engine import EdgeTier, cloud_server_for
+from repro.offload.policies import DeadlineAware, EntropyGated
+from repro.serving.arrivals import poisson_arrivals
+from repro.sim import offload_oracle
+
+
+@pytest.fixture(scope="module")
+def stream():
+    rng = np.random.default_rng(0)
+    images = rng.normal(size=(120, 1, 28, 28)).astype(np.float32)
+    labels = rng.integers(0, 10, 120)
+    arrival_s = poisson_arrivals(60.0, 120, rng=1)
+    return images, arrival_s, labels
+
+
+@pytest.fixture(scope="module")
+def branchy(stream):
+    model = BranchyLeNet(rng=0, entropy_threshold=1.0)
+    images, _, _ = stream
+    model.entropy_threshold = float(np.median(model.branch_entropies(images)))
+    return model
+
+
+def _transport(faults=None, degradation=None, seed=5, init_cwnd=16):
+    link = SharedLink.from_network_link(wifi(), faults=faults or LinkFaultPlan())
+    link.degradation = degradation
+    return SessionTransport(link, rng=seed, aimd=AIMDConfig(init_cwnd=init_cwnd))
+
+
+def _tier(branchy, policy, transport, **kwargs):
+    cloud = cloud_server_for(
+        policy, branchy, gci_cpu(), max_batch_size=8, max_wait_s=0.002
+    )
+    return EdgeTier(
+        branchy,
+        raspberry_pi4(),
+        None,
+        cloud,
+        policy,
+        rng=3,
+        transport=transport,
+        **kwargs,
+    )
+
+
+class TestTransportMode:
+    def test_sessions_carry_every_offload(self, branchy, stream):
+        images, arrival_s, labels = stream
+        report = _tier(branchy, EntropyGated(), _transport()).serve(
+            images, arrival_s, labels=labels
+        )
+        assert report.n_offloaded > 0
+        assert report.n_sessions >= 1  # the handshake actually ran
+        assert report.n_flap_drops == 0
+        assert np.isfinite(report.p95_s)
+
+    def test_constructor_requires_link_or_transport(self, branchy):
+        cloud = cloud_server_for(
+            EntropyGated(), branchy, gci_cpu(), max_batch_size=8
+        )
+        with pytest.raises(TypeError, match="NetworkLink or a SessionTransport"):
+            EdgeTier(branchy, raspberry_pi4(), None, cloud, EntropyGated())
+
+    def test_flap_mid_flight_renegotiates(self, branchy, stream):
+        images, arrival_s, labels = stream
+        # Flaps inside the serving horizon: in-air flights are presumed
+        # lost, sessions drop, and the transfers resume after a fresh
+        # conf-req/conf-ack — visible as extra sessions + flap drops.
+        plan = LinkFaultPlan(faults=(flap_at(0.3), flap_at(0.9)))
+        transport = _transport(faults=plan, init_cwnd=2)
+        report = _tier(branchy, EntropyGated(), transport).serve(
+            images, arrival_s, labels=labels
+        )
+        assert report.n_flap_drops >= 1
+        # Every drop was followed by a fresh conf-req/conf-ack.
+        assert report.n_sessions == report.n_flap_drops + 1
+        # The ledger still balances: every offload completed.
+        assert report.n_local_easy + report.n_local_hard + report.n_offloaded == 120
+
+
+class TestBandwidthCollapseFallback:
+    def test_deadline_aware_goes_local_when_the_trace_collapses(
+        self, branchy, stream
+    ):
+        images, arrival_s, labels = stream
+        # Healthy for the first second, then the trace collapses to
+        # 0.2% of nominal mid-run — every in-progress transfer slows to
+        # a crawl and the live estimate balloons past the deadline.
+        collapse = BandwidthTrace(times_s=(1.0,), scales=(0.002,))
+        deadline = 0.05
+        report = _tier(
+            branchy, DeadlineAware(deadline), _transport(degradation=collapse)
+        ).serve(images, arrival_s, labels=labels)
+        # The aggregate tells the story: the healthy prefix offloads,
+        # then hard requests pin local once the estimate collapses.
+        assert report.n_offloaded > 0, "healthy prefix offloads"
+        assert report.n_local_hard > 0, "post-collapse hard requests stay local"
+        n_early = int((arrival_s < 1.0).sum())
+        assert report.n_offloaded < n_early, (
+            "offloads stop once the trace collapses"
+        )
+
+    def test_estimates_track_the_live_window(self, branchy):
+        transport = _transport(init_cwnd=1)
+        before = transport.estimate_s(8_000, 0.0)
+        transport.aimd.on_ack(transport.aimd.window)  # window grew
+        transport.session.open(0.0)
+        after = transport.estimate_s(8_000, 0.1)
+        assert after < before  # fewer flights + no handshake round
+
+
+class TestOracleLiveParity:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_storming_link_replays_field_for_field(self, branchy, stream, seed):
+        images, arrival_s, labels = stream
+        ids = np.arange(120)
+        plan = LinkFaultPlan(faults=(flap_at(0.4),))
+        policy = EntropyGated()
+
+        def run(oracle):
+            transport = _transport(faults=plan, seed=seed, init_cwnd=2)
+            cloud_kwargs = dict(max_batch_size=8, max_wait_s=0.002)
+            if oracle is not None:
+                cloud = cloud_server_for(
+                    policy, branchy, gci_cpu(), oracle=oracle, **cloud_kwargs
+                )
+                tier = EdgeTier(
+                    branchy,
+                    raspberry_pi4(),
+                    None,
+                    cloud,
+                    policy,
+                    oracle=oracle,
+                    rng=9,
+                    transport=transport,
+                )
+                return tier.serve(ids, arrival_s, labels=labels)
+            cloud = cloud_server_for(policy, branchy, gci_cpu(), **cloud_kwargs)
+            tier = EdgeTier(
+                branchy,
+                raspberry_pi4(),
+                None,
+                cloud,
+                policy,
+                rng=9,
+                transport=transport,
+            )
+            return tier.serve(images, arrival_s, labels=labels)
+
+        live = run(None)
+        orc = run(offload_oracle(branchy, images))
+        for f in dataclasses.fields(live):
+            if f.name == "cloud_report":
+                continue
+            a, b = getattr(live, f.name), getattr(orc, f.name)
+            if isinstance(a, float) and math.isnan(a):
+                assert isinstance(b, float) and math.isnan(b), f.name
+            else:
+                assert a == b, f"{f.name}: live={a!r} oracle={b!r}"
+        assert live.n_sessions == orc.n_sessions
+        assert live.n_flap_drops == orc.n_flap_drops

@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.sim",
     "repro.cluster",
     "repro.faults",
+    "repro.netsim",
     "repro.offload",
     "repro.eval",
     "repro.experiments",

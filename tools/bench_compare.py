@@ -60,6 +60,7 @@ DEFAULT_SUITES = (
     "benchmarks/test_million_requests.py",
     "benchmarks/test_tenants_scheduling.py",
     "benchmarks/test_chaos_resilience.py",
+    "benchmarks/test_netchaos_storm.py",
     "benchmarks/test_obs_overhead.py",
 )
 

@@ -41,6 +41,7 @@ REQUIRED_DOCS = (
     "docs/sim.md",
     "docs/scheduling.md",
     "docs/robustness.md",
+    "docs/netsim.md",
     "docs/observability.md",
 )
 
